@@ -1,0 +1,297 @@
+package cuttlefish
+
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper's evaluation. Each bench regenerates its artefact at a reduced
+// scale and reports the headline quantities as custom metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// doubles as a one-shot reproduction of the paper's result shapes (see
+// EXPERIMENTS.md for the paper-vs-measured record; cmd/cuttlefish prints
+// the full tables). Micro-benchmarks for the hot simulator paths follow.
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/cluster"
+	"repro/internal/experiments"
+	"repro/internal/machine"
+	"repro/internal/msr"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+// benchOptions shrink the runs so the full harness finishes in minutes.
+func benchOptions() experiments.Options {
+	o := experiments.DefaultOptions()
+	o.Scale = 0.12
+	o.Reps = 2
+	return o
+}
+
+// BenchmarkTable1 regenerates the benchmark census.
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table1(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var distinct int
+		for _, r := range rows {
+			distinct += r.Distinct
+		}
+		b.ReportMetric(float64(distinct), "slabs")
+	}
+}
+
+// BenchmarkFig2 regenerates the TIPI/JPI execution timelines.
+func BenchmarkFig2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		recs, err := experiments.Fig2(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var pts int
+		for _, r := range recs {
+			pts += r.Len()
+		}
+		b.ReportMetric(float64(pts), "samples")
+	}
+}
+
+// BenchmarkFig3a regenerates the core-frequency JPI sweep.
+func BenchmarkFig3a(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.Fig3a(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(pts)), "points")
+	}
+}
+
+// BenchmarkFig3b regenerates the uncore-frequency JPI sweep.
+func BenchmarkFig3b(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.Fig3b(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(pts)), "points")
+	}
+}
+
+// BenchmarkFig10 regenerates the OpenMP policy comparison and reports the
+// paper's headline geomeans.
+func BenchmarkFig10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cmp, err := experiments.Fig10(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(cmp.GeoEnergySavings[experiments.Cuttlefish], "energy-savings-%")
+		b.ReportMetric(cmp.GeoSlowdown[experiments.Cuttlefish], "slowdown-%")
+		b.ReportMetric(cmp.GeoEDPSavings[experiments.Cuttlefish], "edp-savings-%")
+	}
+}
+
+// BenchmarkFig11 regenerates the HClib policy comparison.
+func BenchmarkFig11(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cmp, err := experiments.Fig11(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(cmp.GeoEnergySavings[experiments.Cuttlefish], "energy-savings-%")
+		b.ReportMetric(cmp.GeoSlowdown[experiments.Cuttlefish], "slowdown-%")
+	}
+}
+
+// BenchmarkTable2 regenerates the frequency-settings report.
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table2(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var resolved float64
+		for _, r := range rows {
+			resolved += r.PctCFResolved
+		}
+		b.ReportMetric(resolved/float64(len(rows)), "avg-cf-resolved-%")
+	}
+}
+
+// BenchmarkTable3 regenerates the Tinv sensitivity study (two points at
+// bench scale; the CLI runs all four).
+func BenchmarkTable3(b *testing.B) {
+	o := benchOptions()
+	o.Reps = 1
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table3(o, []float64{10e-3, 20e-3})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[1].EnergySavings, "savings-at-20ms-%")
+	}
+}
+
+// BenchmarkAblation quantifies the §4.4/§4.5/Algorithm-3 optimisations: it
+// reports the exploration share with everything on vs everything off.
+func BenchmarkAblation(b *testing.B) {
+	o := benchOptions()
+	o.Reps = 1
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Ablation([]string{"MiniFE"}, o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			switch r.Variant {
+			case experiments.AblationFull:
+				b.ReportMetric(r.ExplorationPct, "explore-full-%")
+			case experiments.AblationNone:
+				b.ReportMetric(r.ExplorationPct, "explore-none-%")
+			}
+		}
+	}
+}
+
+// BenchmarkDDCM compares DVFS and duty-cycle modulation at matched
+// throttle, the knob study behind the paper's DVFS+UFS design choice.
+func BenchmarkDDCM(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.DDCMStudy([]string{"Heat-irt"}, o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].DVFSEnergySavings, "dvfs-savings-%")
+		b.ReportMetric(rows[0].DDCMEnergySavings, "ddcm-savings-%")
+	}
+}
+
+// BenchmarkMPIX runs the §4.6 cluster extension: a 2-node balanced MPI+X
+// program under per-node Cuttlefish vs Default.
+func BenchmarkMPIX(b *testing.B) {
+	app := cluster.App{
+		Steps: 40,
+		Compute: func(rank, step int) []sched.Region {
+			return []sched.Region{{
+				Seg:    workload.Segment{Instructions: 2e7, MissPerInstr: 0.066, IPC: 2, Exposure: 0.6},
+				Chunks: 160,
+			}}
+		},
+		ExchangeBytes: func(rank, step int) float64 { return 4 << 20 },
+	}
+	for i := 0; i < b.N; i++ {
+		cfg := cluster.DefaultConfig()
+		cfg.Nodes = 2
+		cfg.Daemon.WarmupSec = 0.2
+		cfg.Policy = cluster.PolicyDefault
+		def, err := cluster.Run(cfg, app)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg.Policy = cluster.PolicyCuttlefish
+		cf, err := cluster.Run(cfg, app)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*(1-cf.Joules/def.Joules), "cluster-savings-%")
+	}
+}
+
+// BenchmarkOracle verifies the daemon against the exhaustive frequency
+// sweep and reports the JPI gap.
+func BenchmarkOracle(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Oracle("Heat-irt", o, 1, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.GapPct, "jpi-gap-%")
+	}
+}
+
+// --- micro-benchmarks of the simulator's hot paths ---
+
+// BenchmarkMachineStep measures one simulation quantum of a fully loaded
+// 20-core socket.
+func BenchmarkMachineStep(b *testing.B) {
+	m := machine.MustNew(machine.DefaultConfig())
+	seg := workload.Segment{Instructions: 1e18, MissPerInstr: 0.05, IPC: 2}
+	src := sched.NewWorkSharing(20, sched.StaticProgram([]sched.Region{{Seg: seg, Chunks: 20}}, 1), 1)
+	m.SetSource(src)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Step()
+	}
+}
+
+// BenchmarkDaemonTick measures one Tinv activation of the Cuttlefish
+// daemon, including the MSR reads of the profiler.
+func BenchmarkDaemonTick(b *testing.B) {
+	m := machine.MustNew(machine.DefaultConfig())
+	sess, err := Start(m, DefaultDaemonConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	seg := workload.Segment{Instructions: 1e18, MissPerInstr: 0.05, IPC: 2}
+	m.SetSource(sched.NewWorkSharing(20, sched.StaticProgram([]sched.Region{{Seg: seg, Chunks: 20}}, 1), 1))
+	for i := 0; i < 5000; i++ { // run past warmup
+		m.Step()
+	}
+	d := sess.Daemon()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Tick(2.5 + float64(i)*0.02)
+	}
+}
+
+// BenchmarkWorkStealingNextSegment measures the scheduler's task-dispatch
+// path under steady stealing pressure.
+func BenchmarkWorkStealingNextSegment(b *testing.B) {
+	leaf := workload.Segment{Instructions: 1000, IPC: 2}
+	gen := func(round int) ([]sched.Task, bool) {
+		tasks := make([]sched.Task, 1024)
+		for i := range tasks {
+			tasks[i] = sched.Task{Seg: leaf}
+		}
+		return tasks, true // endless rounds
+	}
+	ws := sched.NewWorkStealing(20, gen, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core := i % 20
+		if _, ok := ws.NextSegment(core, 0); ok {
+			ws.Complete(core, 0)
+		}
+	}
+}
+
+// BenchmarkMSRRead measures the emulated msr-safe read path the profiler
+// uses 23 times per Tinv.
+func BenchmarkMSRRead(b *testing.B) {
+	m := machine.MustNew(machine.DefaultConfig())
+	dev := m.Device()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dev.Read(msr.IA32FixedCtr0, i%20); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBenchmarkBuild measures workload-graph construction for the
+// heaviest generator (AMG's region program).
+func BenchmarkBenchmarkBuild(b *testing.B) {
+	spec, _ := bench.Get("AMG")
+	for i := 0; i < b.N; i++ {
+		if _, err := spec.Build(bench.Params{Cores: 20, Scale: 0.1, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,171 @@
+// Command cfsim runs one benchmark under one policy on the simulated
+// machine and reports the run: time, energy, EDP, the frequency decisions
+// the daemon took, and optionally a per-Tinv CSV trace (TIPI, JPI, CF, UF)
+// suitable for plotting Fig. 2-style timelines.
+//
+// Examples:
+//
+//	cfsim -bench Heat-irt -policy cuttlefish
+//	cfsim -bench AMG -policy default -trace amg.csv
+//	cfsim -bench SOR-irt -policy cuttlefish -model hclib -scale 0.5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/governor"
+	"repro/internal/machine"
+	"repro/internal/tipi"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		benchName = flag.String("bench", "Heat-irt", "benchmark name (see -list)")
+		policy    = flag.String("policy", "cuttlefish", "default | cuttlefish | cuttlefish-core | cuttlefish-uncore")
+		model     = flag.String("model", "openmp", "openmp | hclib")
+		scale     = flag.Float64("scale", 0.3, "run length relative to the paper's (1.0 ≈ 60-80s)")
+		seed      = flag.Int64("seed", 1, "RNG seed")
+		cores     = flag.Int("cores", 20, "simulated cores")
+		tinv      = flag.Float64("tinv", 20e-3, "daemon profiling interval (s)")
+		traceOut  = flag.String("trace", "", "write per-Tinv CSV trace to this file")
+		list      = flag.Bool("list", false, "list benchmarks and exit")
+	)
+	flag.Parse()
+	if *list {
+		fmt.Println("benchmarks (Table 1):")
+		for _, s := range bench.All() {
+			hclib := ""
+			if s.HClibPort {
+				hclib = " [hclib]"
+			}
+			fmt.Printf("  %-10s %-16s TIPI %.3f-%.3f%s\n", s.Name, s.Style, s.TIPILow, s.TIPIHigh, hclib)
+		}
+		return
+	}
+	if err := run(*benchName, *policy, *model, *scale, *seed, *cores, *tinv, *traceOut); err != nil {
+		fmt.Fprintf(os.Stderr, "cfsim: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(benchName, policy, model string, scale float64, seed int64, cores int, tinv float64, traceOut string) error {
+	spec, ok := bench.Get(benchName)
+	if !ok {
+		return fmt.Errorf("unknown benchmark %q (use -list)", benchName)
+	}
+	mcfg := machine.DefaultConfig()
+	mcfg.Cores = cores
+	m, err := machine.New(mcfg)
+	if err != nil {
+		return err
+	}
+
+	var daemon *core.Daemon
+	switch experiments.PolicyName(policy) {
+	case experiments.Default:
+		if err := governor.Apply(governor.Performance, m.Device(), cores, mcfg.CoreGrid); err != nil {
+			return err
+		}
+		m.SetFirmware(governor.DefaultAutoUFS())
+	case experiments.Cuttlefish, experiments.CoreOnly, experiments.UncoreOnly:
+		dcfg := core.DefaultConfig()
+		dcfg.TinvSec = tinv
+		switch experiments.PolicyName(policy) {
+		case experiments.CoreOnly:
+			dcfg.Policy = core.PolicyCoreOnly
+		case experiments.UncoreOnly:
+			dcfg.Policy = core.PolicyUncoreOnly
+		}
+		daemon, err = core.NewDaemon(dcfg, m.Device(), cores, mcfg.CoreGrid, mcfg.UncoreGrid, m.Now())
+		if err != nil {
+			return err
+		}
+		m.Schedule(&machine.Component{Period: dcfg.TinvSec, Core: dcfg.PinnedCore, Tick: daemon.Tick}, dcfg.TinvSec)
+	default:
+		return fmt.Errorf("unknown policy %q", policy)
+	}
+
+	// An observer profiler records the timeline regardless of policy.
+	rec := &trace.Recorder{}
+	if traceOut != "" {
+		prof, err := core.NewProfiler(m.Device(), cores)
+		if err != nil {
+			return err
+		}
+		if err := prof.Reset(); err != nil {
+			return err
+		}
+		m.Schedule(&machine.Component{
+			Period: tinv,
+			Tick: func(now float64) float64 {
+				s, err := prof.Sample()
+				if err != nil || !s.OK {
+					return 0
+				}
+				rec.Add(trace.Point{
+					Time: now, TIPI: s.TIPI, JPI: s.JPI,
+					Instr: s.Instr, Joules: s.Joules,
+					CF: m.CoreRatio(cores - 1), UF: m.UncoreRatio(),
+				})
+				return 0
+			},
+		}, tinv)
+	}
+
+	src, err := spec.Build(bench.Params{Cores: cores, Scale: scale, Seed: seed, Model: bench.Model(model)})
+	if err != nil {
+		return err
+	}
+	m.SetSource(src)
+	sec := m.Run(spec.PaperSeconds*scale*6 + 60)
+	if !m.Finished() {
+		return fmt.Errorf("%s did not finish", spec.Name)
+	}
+
+	joules := m.TotalEnergy()
+	fmt.Printf("%s under %s (%s, scale %.2f)\n", spec.Name, policy, model, scale)
+	fmt.Printf("  time    %8.2f s\n", sec)
+	fmt.Printf("  energy  %8.1f J  (%.1f W avg)\n", joules, joules/sec)
+	fmt.Printf("  EDP     %8.0f Js\n", joules*sec)
+	local, remote := m.TotalMisses()
+	fmt.Printf("  TIPI    %8.4f  (%.0f%% remote)\n",
+		(local+remote)/m.TotalInstructions(), 100*remote/(local+remote))
+	fmt.Printf("  avg UF  %8.2f GHz\n", m.AvgUncoreGHz())
+
+	if daemon != nil {
+		if err := daemon.Err(); err != nil {
+			return err
+		}
+		fmt.Printf("  daemon  %d samples, %d slab(s)\n", daemon.Samples(), daemon.List().Len())
+		for _, n := range daemon.List().Nodes() {
+			cf, uf := "-", "-"
+			if n.CF.HasOpt() {
+				cf = n.CF.OptRatio().String()
+			}
+			if n.UF.HasOpt() {
+				uf = n.UF.OptRatio().String()
+			}
+			fmt.Printf("    %-13s %6d hits  CFopt %-8s UFopt %s\n",
+				n.Slab.Format(tipi.DefaultSlabWidth), n.Hits, cf, uf)
+		}
+	}
+
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := rec.WriteCSV(f); err != nil {
+			return err
+		}
+		fmt.Printf("  trace   %d samples -> %s\n", rec.Len(), traceOut)
+	}
+	return nil
+}

@@ -1,0 +1,81 @@
+// Command probe is a development aid: it runs benchmarks at fixed
+// frequency points and under the daemon, printing the equilibria the
+// calibration tests assert against.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/msr"
+	"repro/internal/tipi"
+)
+
+func run(name string, cf, uf uint8) {
+	spec, _ := bench.Get(name)
+	m := machine.MustNew(machine.DefaultConfig())
+	for c := 0; c < 20; c++ {
+		m.Device().Write(msr.IA32PerfCtl, c, msr.PerfCtlRaw(cf))
+	}
+	m.Device().Write(msr.UncoreRatioLimit, 0, msr.UncoreLimitRaw(uf, uf))
+	src, err := spec.Build(bench.Params{Cores: 20, Scale: 0.04, Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	m.SetSource(src)
+	sec := m.Run(300)
+	ips := m.TotalInstructions() / sec
+	local, remote := m.TotalMisses()
+	demand := (local + remote) / sec
+	jpi := m.TotalEnergy() / m.TotalInstructions()
+	fmt.Printf("%-9s CF=%d UF=%d  t=%6.2fs  IPS=%6.2fG  demand=%5.3fG  P=%5.1fW  JPI=%.3fnJ\n",
+		name, cf, uf, sec, ips/1e9, demand/1e9, m.TotalEnergy()/sec, jpi*1e9)
+}
+
+func daemonRun(name string, scale float64) {
+	spec, _ := bench.Get(name)
+	m := machine.MustNew(machine.DefaultConfig())
+	cfg := core.DefaultConfig()
+	d, err := core.NewDaemon(cfg, m.Device(), 20, m.Config().CoreGrid, m.Config().UncoreGrid, 0)
+	if err != nil {
+		panic(err)
+	}
+	m.Schedule(&machine.Component{Period: cfg.TinvSec, Core: 0, Tick: d.Tick}, cfg.TinvSec)
+	src, err := spec.Build(bench.Params{Cores: 20, Scale: scale, Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	m.SetSource(src)
+	sec := m.Run(400)
+	fmt.Printf("%-9s daemon t=%6.2fs E=%6.1fJ samples=%d err=%v finished=%v\n",
+		name, sec, m.TotalEnergy(), d.Samples(), d.Err(), m.Finished())
+	for _, n := range d.List().Nodes() {
+		cf, uf := "-", "-"
+		if n.CF.HasOpt() {
+			cf = n.CF.OptRatio().String()
+		}
+		if n.UF.HasOpt() {
+			uf = n.UF.OptRatio().String()
+		}
+		fmt.Printf("   slab %-12s hits=%5d  CF[%d,%d] opt=%s  UF[%d,%d] opt=%s\n",
+			n.Slab.Format(tipi.DefaultSlabWidth), n.Hits,
+			n.CF.LB(), n.CF.RB(), cf, n.UF.LB(), n.UF.RB(), uf)
+	}
+}
+
+func main() {
+	for _, uf := range []uint8{30, 26, 22, 18, 14, 12} {
+		run("Heat-irt", 12, uf)
+	}
+	fmt.Println()
+	for _, uf := range []uint8{30, 22, 14, 12} {
+		run("SOR-irt", 23, uf)
+	}
+	fmt.Println()
+	daemonRun("UTS", 0.12)
+	daemonRun("Heat-irt", 0.12)
+	daemonRun("SOR-irt", 0.12)
+	daemonRun("AMG", 0.12)
+}

@@ -1,0 +1,192 @@
+// Package cuttlefish is a Go reproduction of "Cuttlefish: Library for
+// Achieving Energy Efficiency in Multicore Parallel Programs" (SC 2021).
+//
+// The paper's library lowers the energy footprint of any multicore parallel
+// program on Intel processors by profiling Model-Specific Registers online
+// and adapting core (DVFS) and uncore (UFS) frequencies per memory-access
+// pattern. This package reproduces that runtime — Algorithms 1–3 and the
+// §4.4/§4.5 exploration-range optimisations, verbatim — on top of a
+// deterministic multicore simulator standing in for the paper's 20-core
+// Haswell (see DESIGN.md for the substitution argument).
+//
+// The programmer-facing surface mirrors the paper's two-call API:
+//
+//	m := cuttlefish.NewMachine(cuttlefish.DefaultMachineConfig())
+//	session, _ := cuttlefish.Start(m, cuttlefish.DefaultDaemonConfig())
+//	// ... run a parallel workload on m ...
+//	session.Stop()
+//
+// Everything else — the MSR file, RAPL, the PMU, the parallel runtimes, the
+// Table 1 benchmarks and the per-figure experiment harnesses — lives in the
+// internal packages and is reachable through the helpers below.
+package cuttlefish
+
+import (
+	"fmt"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/governor"
+	"repro/internal/machine"
+	"repro/internal/msr"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+// Machine is the simulated multicore socket programs run on.
+type Machine = machine.Machine
+
+// MachineConfig configures the simulated socket.
+type MachineConfig = machine.Config
+
+// DefaultMachineConfig returns the paper's evaluation machine: a 20-core
+// Haswell-class socket, core DVFS 1.2–2.3 GHz, uncore UFS 1.2–3.0 GHz.
+func DefaultMachineConfig() MachineConfig { return machine.DefaultConfig() }
+
+// NewMachine builds a simulated socket.
+func NewMachine(cfg MachineConfig) (*Machine, error) { return machine.New(cfg) }
+
+// Policy selects which frequency domains the daemon adapts — the paper's
+// three build-time variants.
+type Policy = core.Policy
+
+// The three policies of §5: full Cuttlefish, core-only and uncore-only.
+const (
+	PolicyBoth       = core.PolicyBoth
+	PolicyCoreOnly   = core.PolicyCoreOnly
+	PolicyUncoreOnly = core.PolicyUncoreOnly
+)
+
+// DaemonConfig parametrises the daemon (Tinv, warmup, slab width, policy).
+type DaemonConfig = core.Config
+
+// DefaultDaemonConfig returns the paper's deployment defaults: both-domain
+// policy, Tinv = 20 ms, 2 s warmup, 0.004 TIPI slabs.
+func DefaultDaemonConfig() DaemonConfig { return core.DefaultConfig() }
+
+// Benchmark describes one of the paper's Table 1 workloads.
+type Benchmark = bench.Spec
+
+// BenchmarkParams parametrise benchmark construction.
+type BenchmarkParams = bench.Params
+
+// Model selects the parallel runtime a benchmark runs under (§5.2).
+type Model = bench.Model
+
+// The two programming models of the evaluation.
+const (
+	ModelOpenMP = bench.OpenMP
+	ModelHClib  = bench.HClib
+)
+
+// Benchmarks returns the ten Table 1 benchmarks.
+func Benchmarks() []Benchmark { return bench.All() }
+
+// BenchmarkByName fetches a benchmark by its Table 1 name (e.g. "Heat-irt").
+func BenchmarkByName(name string) (Benchmark, bool) { return bench.Get(name) }
+
+// Session is a running Cuttlefish instance: the daemon thread plus the MSR
+// save/restore bracket, created by Start and ended by Stop — the paper's
+// cuttlefish::start()/cuttlefish::stop() pair.
+type Session struct {
+	daemon *core.Daemon
+	dev    *msr.Device
+	m      *Machine
+	done   bool
+}
+
+// Start attaches Cuttlefish to the machine: the current MSR state is saved
+// (msr-safe style), the daemon is created pinned to its core, both
+// frequency domains are raised to maximum, and the daemon is scheduled
+// every Tinv starting after its warmup.
+func Start(m *Machine, cfg DaemonConfig) (*Session, error) {
+	dev := m.Device()
+	dev.Save()
+	now := m.Now()
+	d, err := core.NewDaemon(cfg, dev, m.Config().Cores, m.Config().CoreGrid, m.Config().UncoreGrid, now)
+	if err != nil {
+		return nil, fmt.Errorf("cuttlefish: %w", err)
+	}
+	m.Schedule(&machine.Component{
+		Period: cfg.TinvSec,
+		Core:   cfg.PinnedCore,
+		Tick:   d.Tick,
+	}, now+cfg.TinvSec)
+	return &Session{daemon: d, dev: dev, m: m}, nil
+}
+
+// Stop shuts the daemon down and restores the MSR state captured at Start.
+// It is idempotent.
+func (s *Session) Stop() error {
+	if s.done {
+		return nil
+	}
+	s.done = true
+	s.daemon.Stop()
+	if err := s.daemon.Err(); err != nil {
+		return fmt.Errorf("cuttlefish: daemon failed during run: %w", err)
+	}
+	return s.dev.Restore()
+}
+
+// Daemon exposes the runtime's exploration state (slab list, sample count)
+// for reporting.
+func (s *Session) Daemon() *core.Daemon { return s.daemon }
+
+// Segment is the unit of simulated work: instructions with an LLC-miss
+// density (the quantity TIPI measures), an IPC and a prefetch exposure.
+type Segment = workload.Segment
+
+// Source supplies segments to the machine's cores; the two runtime types
+// below implement it.
+type Source = workload.Source
+
+// Region is one work-sharing parallel region (OpenMP-style static loop).
+type Region = sched.Region
+
+// RegionGen yields the region sequence of a work-sharing program.
+type RegionGen = sched.RegionGen
+
+// StaticProgram cycles a fixed region list for a number of iterations.
+func StaticProgram(regions []Region, iterations int) RegionGen {
+	return sched.StaticProgram(regions, iterations)
+}
+
+// NewWorkSharing builds the OpenMP-style runtime over the machine's cores.
+func NewWorkSharing(cores int, gen RegionGen, seed int64) Source {
+	return sched.NewWorkSharing(cores, gen, seed)
+}
+
+// Task is one async task in the async–finish model.
+type Task = sched.Task
+
+// RoundGen yields the root task set of each finish scope.
+type RoundGen = sched.RoundGen
+
+// SingleRound wraps a fixed task set as a one-round program.
+func SingleRound(tasks []Task) RoundGen { return sched.SingleRound(tasks) }
+
+// NewWorkStealing builds the HClib-style async–finish runtime.
+func NewWorkStealing(cores int, gen RoundGen, seed int64) Source {
+	return sched.NewWorkStealing(cores, gen, seed)
+}
+
+// Partition statically divides the socket's cores among co-running
+// workloads (the paper's workflow future-work scenario). Assign each
+// component a core range, then SetSource the partition on the machine.
+type Partition = workload.Partition
+
+// NewPartition creates an empty core partition.
+func NewPartition() *Partition { return workload.NewPartition() }
+
+// ApplyDefaultEnvironment configures the machine the way the paper's
+// Default executions run: the performance governor pins every core at
+// maximum and the firmware's Auto mode drives the uncore from memory
+// traffic.
+func ApplyDefaultEnvironment(m *Machine) error {
+	if err := governor.Apply(governor.Performance, m.Device(), m.Config().Cores, m.Config().CoreGrid); err != nil {
+		return err
+	}
+	m.SetFirmware(governor.DefaultAutoUFS())
+	return nil
+}

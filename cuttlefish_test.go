@@ -1,0 +1,226 @@
+package cuttlefish
+
+import (
+	"testing"
+
+	"repro/internal/freq"
+	"repro/internal/tipi"
+)
+
+// runPolicy executes a named benchmark under a Cuttlefish policy and
+// returns the session (stopped), elapsed time and energy.
+func runPolicy(t *testing.T, name string, policy Policy, scale float64) (*Session, float64, float64) {
+	t.Helper()
+	spec, ok := BenchmarkByName(name)
+	if !ok {
+		t.Fatalf("unknown benchmark %s", name)
+	}
+	m, err := NewMachine(DefaultMachineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultDaemonConfig()
+	cfg.Policy = policy
+	sess, err := Start(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := spec.Build(BenchmarkParams{Cores: m.Config().Cores, Scale: scale, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SetSource(src)
+	sec := m.Run(400)
+	if !m.Finished() {
+		t.Fatalf("%s did not finish", name)
+	}
+	if err := sess.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	return sess, sec, m.TotalEnergy()
+}
+
+// runDefaultEnv executes a benchmark under the Default environment.
+func runDefaultEnv(t *testing.T, name string, scale float64) (float64, float64) {
+	t.Helper()
+	spec, _ := BenchmarkByName(name)
+	m, err := NewMachine(DefaultMachineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ApplyDefaultEnvironment(m); err != nil {
+		t.Fatal(err)
+	}
+	src, err := spec.Build(BenchmarkParams{Cores: m.Config().Cores, Scale: scale, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SetSource(src)
+	sec := m.Run(400)
+	if !m.Finished() {
+		t.Fatalf("%s did not finish", name)
+	}
+	return sec, m.TotalEnergy()
+}
+
+// frequentNode returns the slab node with the most hits.
+func frequentNode(s *Session) *tipi.Node {
+	var best *tipi.Node
+	for _, n := range s.Daemon().List().Nodes() {
+		if best == nil || n.Hits > best.Hits {
+			best = n
+		}
+	}
+	return best
+}
+
+func TestMemoryBoundConvergesToPaperOptima(t *testing.T) {
+	// Heat-irt (Table 2): CFopt 1.2 GHz, UFopt ≈ 2.2 GHz (our Algorithm 3
+	// window floors at 2.4 GHz given CFopt = min; the paper's 2.2 sits just
+	// below its own window — see EXPERIMENTS.md).
+	sess, _, _ := runPolicy(t, "Heat-irt", PolicyBoth, 0.12)
+	n := frequentNode(sess)
+	if n == nil {
+		t.Fatal("no slabs discovered")
+	}
+	if !n.CF.HasOpt() {
+		t.Fatal("frequent slab's CFopt unresolved")
+	}
+	if got := n.CF.OptRatio(); got > 14 {
+		t.Errorf("Heat CFopt = %v, want ≤ 1.4GHz (memory-bound, Table 2: 1.2)", got)
+	}
+	if !n.UF.HasOpt() {
+		t.Fatal("frequent slab's UFopt unresolved")
+	}
+	if got := n.UF.OptRatio(); got < 20 || got > 27 {
+		t.Errorf("Heat UFopt = %v, want interior 2.0-2.7GHz (Table 2: 2.2)", got)
+	}
+}
+
+func TestComputeBoundConvergesToPaperOptima(t *testing.T) {
+	// UTS (Table 2): CFopt 2.3 GHz (max), UFopt ≈ 1.3 GHz.
+	sess, _, _ := runPolicy(t, "UTS", PolicyBoth, 0.12)
+	n := frequentNode(sess)
+	if n == nil || !n.CF.HasOpt() || !n.UF.HasOpt() {
+		t.Fatal("UTS frequent slab unresolved")
+	}
+	if got := n.CF.OptRatio(); got != 23 {
+		t.Errorf("UTS CFopt = %v, want 2.3GHz (compute-bound keeps max)", got)
+	}
+	if got := n.UF.OptRatio(); got > 16 {
+		t.Errorf("UTS UFopt = %v, want ≤ 1.6GHz (Table 2: 1.3)", got)
+	}
+}
+
+func TestCuttlefishSavesEnergyOnMemoryBound(t *testing.T) {
+	const scale = 0.12
+	defSec, defJ := runDefaultEnv(t, "Heat-irt", scale)
+	_, cfSec, cfJ := runPolicy(t, "Heat-irt", PolicyBoth, scale)
+	savings := 100 * (1 - cfJ/defJ)
+	slowdown := 100 * (cfSec/defSec - 1)
+	if savings < 10 {
+		t.Errorf("Heat energy savings = %.1f%%, want ≥ 10%% (paper: 22-29%%)", savings)
+	}
+	if slowdown > 15 {
+		t.Errorf("Heat slowdown = %.1f%%, want ≤ 15%% (paper ≤ 8.1%%)", slowdown)
+	}
+}
+
+func TestCuttlefishSavesEnergyOnComputeBound(t *testing.T) {
+	const scale = 0.12
+	defSec, defJ := runDefaultEnv(t, "UTS", scale)
+	_, cfSec, cfJ := runPolicy(t, "UTS", PolicyBoth, scale)
+	savings := 100 * (1 - cfJ/defJ)
+	slowdown := 100 * (cfSec/defSec - 1)
+	if savings < 3 {
+		t.Errorf("UTS energy savings = %.1f%%, want ≥ 3%% (paper ≈ 8%%)", savings)
+	}
+	if slowdown > 6 {
+		t.Errorf("UTS slowdown = %.1f%%, want ≤ 6%% (paper ≈ 1.6%%)", slowdown)
+	}
+}
+
+func TestCoreOnlyLosesToDefaultOnComputeBound(t *testing.T) {
+	// §5.1: Cuttlefish-Core pins UF at max and fixes CF at max for
+	// compute-bound codes, so it must use MORE energy than Default (whose
+	// firmware parks the quiet uncore at 2.2 GHz).
+	const scale = 0.12
+	_, defJ := runDefaultEnv(t, "UTS", scale)
+	_, _, coreJ := runPolicy(t, "UTS", PolicyCoreOnly, scale)
+	if coreJ <= defJ {
+		t.Errorf("Cuttlefish-Core energy %.1f J should exceed Default %.1f J on UTS", coreJ, defJ)
+	}
+}
+
+func TestUncoreOnlyBeatsCoreOnlyOnComputeBound(t *testing.T) {
+	const scale = 0.12
+	_, _, coreJ := runPolicy(t, "UTS", PolicyCoreOnly, scale)
+	_, _, uncJ := runPolicy(t, "UTS", PolicyUncoreOnly, scale)
+	if uncJ >= coreJ {
+		t.Errorf("Cuttlefish-Uncore %.1f J should beat Cuttlefish-Core %.1f J on UTS", uncJ, coreJ)
+	}
+}
+
+func TestStopRestoresFrequencies(t *testing.T) {
+	spec, _ := BenchmarkByName("Heat-irt")
+	m, _ := NewMachine(DefaultMachineConfig())
+	sess, err := Start(m, DefaultDaemonConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, _ := spec.Build(BenchmarkParams{Cores: 20, Scale: 0.08, Seed: 1})
+	m.SetSource(src)
+	m.Run(400)
+	// Mid-run the daemon will have lowered frequencies.
+	if err := sess.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.CoreRatio(0); got != m.Config().CoreGrid.Max {
+		t.Errorf("core ratio after Stop = %v, want restored max", got)
+	}
+	// The daemon pinned 0x620 (min == max); Stop must restore the boot
+	// limit range so the firmware owns the uncore again. The operating
+	// point itself stays wherever the limits allow until firmware moves it,
+	// as on hardware.
+	raw, err := m.Device().Read(0x620, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := raw>>8&0x7f, raw&0x7f
+	if lo != uint64(m.Config().UncoreGrid.Min) || hi != uint64(m.Config().UncoreGrid.Max) {
+		t.Errorf("0x620 after Stop = [%d,%d], want restored [%d,%d]",
+			lo, hi, m.Config().UncoreGrid.Min, m.Config().UncoreGrid.Max)
+	}
+	// Idempotent.
+	if err := sess.Stop(); err != nil {
+		t.Errorf("second Stop errored: %v", err)
+	}
+}
+
+func TestObliviousAcrossModels(t *testing.T) {
+	// §5.2: the daemon's conclusions for the same benchmark should agree
+	// between the OpenMP and HClib runtimes.
+	opt := func(model Model) freq.Ratio {
+		spec, _ := BenchmarkByName("SOR-irt")
+		m, _ := NewMachine(DefaultMachineConfig())
+		sess, err := Start(m, DefaultDaemonConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		src, err := spec.Build(BenchmarkParams{Cores: 20, Scale: 0.12, Seed: 5, Model: model})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.SetSource(src)
+		m.Run(400)
+		sess.Stop()
+		n := frequentNode(sess)
+		if n == nil || !n.CF.HasOpt() {
+			t.Fatalf("%s: CFopt unresolved", model)
+		}
+		return n.CF.OptRatio()
+	}
+	if omp, hc := opt(ModelOpenMP), opt(ModelHClib); omp != hc {
+		t.Errorf("CFopt differs across models: openmp %v, hclib %v", omp, hc)
+	}
+}

@@ -1,0 +1,75 @@
+// Corun: two workflow components sharing one socket under a single
+// Cuttlefish daemon — the paper's future-work scenario ("explore the
+// possibility of using Cuttlefish to control the power of co-running
+// components of a workflow on a node", §7).
+//
+// A compute-bound analysis component owns half the cores and a memory-bound
+// data-movement component the other half. Because TIPI is measured
+// socket-wide, the daemon sees the *blend* of the two access patterns and
+// chooses one frequency pair for the whole socket: the printout shows the
+// blended slab landing between the components' native slabs, and the
+// chosen frequencies compromising between the two — precisely the open
+// problem the paper defers to future work.
+//
+//	go run ./examples/corun
+package main
+
+import (
+	"fmt"
+	"log"
+
+	cuttlefish "repro"
+)
+
+func main() {
+	m, err := cuttlefish.NewMachine(cuttlefish.DefaultMachineConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	cores := m.Config().Cores
+	half := cores / 2
+
+	analysis := cuttlefish.NewWorkSharing(half, cuttlefish.StaticProgram([]cuttlefish.Region{{
+		Seg:    cuttlefish.Segment{Instructions: 3e7, MissPerInstr: 0.002, IPC: 1.8},
+		Chunks: 8 * half,
+	}}, 400), 1)
+	mover := cuttlefish.NewWorkSharing(cores-half, cuttlefish.StaticProgram([]cuttlefish.Region{{
+		Seg:    cuttlefish.Segment{Instructions: 1.2e7, MissPerInstr: 0.13, IPC: 1.3, Exposure: 0.8},
+		Chunks: 8 * (cores - half),
+	}}, 400), 2)
+
+	part := cuttlefish.NewPartition()
+	if err := part.Assign(analysis, 0, half); err != nil {
+		log.Fatal(err)
+	}
+	if err := part.Assign(mover, half, cores); err != nil {
+		log.Fatal(err)
+	}
+
+	session, err := cuttlefish.Start(m, cuttlefish.DefaultDaemonConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	m.SetSource(part)
+	elapsed := m.Run(240)
+	if err := session.Stop(); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("co-run: %.1f simulated seconds, %.0f J (%.1f W)\n",
+		elapsed, m.TotalEnergy(), m.TotalEnergy()/elapsed)
+	fmt.Println("components: analysis TIPI ≈ 0.002 (cores 0-9), mover TIPI ≈ 0.13 (cores 10-19)")
+	fmt.Println("socket-wide slabs the daemon saw (the blend):")
+	for _, n := range session.Daemon().List().Nodes() {
+		cf, uf := "-", "-"
+		if n.CF.HasOpt() {
+			cf = n.CF.OptRatio().String()
+		}
+		if n.UF.HasOpt() {
+			uf = n.UF.OptRatio().String()
+		}
+		fmt.Printf("  TIPI %s  hits %5d  CFopt %-8s UFopt %s\n", n.Slab.Format(0.004), n.Hits, cf, uf)
+	}
+	fmt.Println("\nnote: one frequency pair serves both components — per-component")
+	fmt.Println("control needs per-core DVFS policy, the paper's open future work.")
+}

@@ -1,0 +1,73 @@
+// MPI+X: per-node Cuttlefish in a bulk-synchronous distributed program,
+// the deployment §4.6 of the paper sketches.
+//
+// Four simulated nodes run a balanced stencil exchange: each superstep is a
+// long node-level OpenMP region followed by a halo exchange. One Cuttlefish
+// daemon per node profiles only its own socket, so the savings match the
+// single-node memory-bound case; the example also prints the per-rank wait
+// breakdown to show the limitation the paper names — barrier slack is not
+// reclaimed.
+//
+//	go run ./examples/mpix
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/cluster"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+func app() cluster.App {
+	return cluster.App{
+		Steps: 60,
+		Compute: func(rank, step int) []sched.Region {
+			return []sched.Region{{
+				Seg: workload.Segment{
+					Instructions: 1.2e8, // long node-level region (≈2.5 s/step)
+					MissPerInstr: 0.066,
+					IPC:          2.0,
+					Exposure:     0.6,
+				},
+				Chunks: 320,
+			}}
+		},
+		// 4 MiB halo per step: a stencil's surface-to-volume payload,
+		// cheap enough to be effectively overlapped. Large *blocking*
+		// collectives would inject idle gaps into the daemon's Tinv
+		// windows and corrupt the JPI averages — the paper's §4.6 scope
+		// restriction to programs without communication/computation
+		// overlap problems exists for exactly that reason.
+		ExchangeBytes: func(rank, step int) float64 { return 4 << 20 },
+	}
+}
+
+func run(policy cluster.Policy) cluster.Result {
+	cfg := cluster.DefaultConfig()
+	cfg.Policy = policy
+	res, err := cluster.Run(cfg, app())
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
+}
+
+func main() {
+	fmt.Println("MPI+X stencil on 4 simulated nodes (balanced halo exchange)")
+	def := run(cluster.PolicyDefault)
+	fmt.Printf("Default:    %.1f s wall, %.0f J cluster energy\n", def.Seconds, def.Joules)
+	cf := run(cluster.PolicyCuttlefish)
+	fmt.Printf("Cuttlefish: %.1f s wall, %.0f J cluster energy\n", cf.Seconds, cf.Joules)
+	fmt.Printf("energy savings %.1f%%, slowdown %.1f%%\n\n",
+		100*(1-cf.Joules/def.Joules), 100*(cf.Seconds/def.Seconds-1))
+
+	fmt.Println("per-rank breakdown (Cuttlefish):")
+	for _, n := range cf.Nodes {
+		fmt.Printf("  rank %d: %.0f J, compute %.1f s, barrier+comm wait %.1f s, %d slab(s)\n",
+			n.Rank, n.Joules, n.BusySec, n.WaitSec, n.Daemon.List().Len())
+	}
+	fmt.Println("\nnote (§4.6): Cuttlefish tunes each node to its local memory access")
+	fmt.Println("pattern; inter-node slack under load imbalance is out of scope.")
+}

@@ -1,0 +1,74 @@
+// Tinvtuning sweeps the daemon's profiling interval and prints the
+// energy/time trade-off, reproducing the paper's Table 3 study on a single
+// benchmark.
+//
+// RAPL updates every 1 ms on Haswell, so Tinv is a multiple of that; the
+// paper tries 10/20/40/60 ms and settles on 20 ms: about the savings of
+// 10 ms with less slowdown. Larger Tinv stretches each exploration probe
+// (10 readings per frequency), leaving more of the run at unoptimised
+// frequencies.
+//
+//	go run ./examples/tinvtuning
+package main
+
+import (
+	"fmt"
+	"log"
+
+	cuttlefish "repro"
+)
+
+const scale = 0.25
+
+func runDefault() (float64, float64) {
+	m, err := cuttlefish.NewMachine(cuttlefish.DefaultMachineConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := cuttlefish.ApplyDefaultEnvironment(m); err != nil {
+		log.Fatal(err)
+	}
+	spec, _ := cuttlefish.BenchmarkByName("MiniFE")
+	src, err := spec.Build(cuttlefish.BenchmarkParams{Cores: m.Config().Cores, Scale: scale, Seed: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	m.SetSource(src)
+	sec := m.Run(300)
+	return sec, m.TotalEnergy()
+}
+
+func runWithTinv(tinv float64) (float64, float64) {
+	m, err := cuttlefish.NewMachine(cuttlefish.DefaultMachineConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := cuttlefish.DefaultDaemonConfig()
+	cfg.TinvSec = tinv
+	session, err := cuttlefish.Start(m, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec, _ := cuttlefish.BenchmarkByName("MiniFE")
+	src, err := spec.Build(cuttlefish.BenchmarkParams{Cores: m.Config().Cores, Scale: scale, Seed: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	m.SetSource(src)
+	sec := m.Run(300)
+	if err := session.Stop(); err != nil {
+		log.Fatal(err)
+	}
+	return sec, m.TotalEnergy()
+}
+
+func main() {
+	defSec, defJ := runDefault()
+	fmt.Printf("MiniFE Default: %.1f s, %.0f J\n", defSec, defJ)
+	fmt.Printf("%8s %15s %10s\n", "Tinv", "energy savings", "slowdown")
+	for _, tinv := range []float64{10e-3, 20e-3, 40e-3, 60e-3} {
+		sec, joules := runWithTinv(tinv)
+		fmt.Printf("%6.0fms %14.1f%% %9.1f%%\n",
+			tinv*1e3, 100*(1-joules/defJ), 100*(sec/defSec-1))
+	}
+}

@@ -1,0 +1,160 @@
+// Package bench implements the ten benchmarks of the paper's Table 1 as
+// workload generators for the simulated machine: UTS, three SOR variants,
+// three Heat variants, MiniFE, HPCCG and AMG.
+//
+// Each benchmark is characterised by the quantities Cuttlefish can observe
+// — instruction throughput, TOR-insert density (TIPI), prefetch exposure
+// and phase structure — and by its concurrency decomposition: irregular
+// task DAGs (irt), regular task DAGs (rt, per the Chen et al. construction
+// of Fig. 1) or work-sharing loops (ws). The irt/rt variants run on either
+// task runtime (OpenMP tasking or HClib work stealing); the ws variants and
+// the three mini-applications are work-sharing only, matching §5.2's
+// porting scope.
+//
+// The per-benchmark densities are calibrated to land inside Table 1's TIPI
+// ranges; total instruction budgets are sized so a Default execution takes
+// roughly the paper's wall time multiplied by the caller's scale factor.
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+// Style is the concurrency decomposition of Table 1.
+type Style string
+
+const (
+	IrregularTasks Style = "irregular-tasks"
+	RegularTasks   Style = "regular-tasks"
+	WorkSharing    Style = "work-sharing"
+)
+
+// Model selects the parallel runtime implementation (§5.2): the OpenMP
+// runtime or the HClib async–finish library. Both task models execute the
+// same DAG; they differ in scheduler constants (HClib's steal path is
+// leaner than libomp's task queues), which is exactly the paper's point —
+// Cuttlefish behaves the same under either.
+type Model string
+
+const (
+	OpenMP Model = "openmp"
+	HClib  Model = "hclib"
+)
+
+// Spec describes one benchmark.
+type Spec struct {
+	// Name as the paper spells it, e.g. "Heat-irt".
+	Name string
+	// Style is the concurrency decomposition.
+	Style Style
+	// TIPILow and TIPIHigh are Table 1's reported TIPI range, used for
+	// validation and reporting.
+	TIPILow, TIPIHigh float64
+	// PaperSeconds is Table 1's Default-execution wall time.
+	PaperSeconds float64
+	// HClibPort reports whether §5.2 ported this benchmark to HClib.
+	HClibPort bool
+
+	build func(p Params) workload.Source
+}
+
+// Params parametrise benchmark construction.
+type Params struct {
+	Cores int
+	// Scale multiplies the instruction budget: 1.0 reproduces the paper's
+	// 60–80 s runs, smaller values shrink them proportionally.
+	Scale float64
+	Seed  int64
+	Model Model
+}
+
+// Build instantiates the benchmark's workload source.
+func (s Spec) Build(p Params) (workload.Source, error) {
+	if p.Cores <= 0 {
+		return nil, fmt.Errorf("bench: cores must be positive, got %d", p.Cores)
+	}
+	if p.Scale <= 0 {
+		return nil, fmt.Errorf("bench: scale must be positive, got %g", p.Scale)
+	}
+	if p.Model == "" {
+		p.Model = OpenMP
+	}
+	if p.Model == HClib && !s.HClibPort {
+		return nil, fmt.Errorf("bench: %s has no HClib port (§5.2)", s.Name)
+	}
+	if p.Model != OpenMP && p.Model != HClib {
+		return nil, fmt.Errorf("bench: unknown model %q", p.Model)
+	}
+	return s.build(p), nil
+}
+
+// stealOverhead returns the runtime's steal-path cost in instructions.
+func stealOverhead(m Model) float64 {
+	if m == HClib {
+		return 300 // lean work-first deques
+	}
+	return 700 // libomp task queue locking
+}
+
+// newTaskRuntime builds the work-stealing runtime used for both task
+// models, with model-specific overhead constants.
+func newTaskRuntime(p Params, gen sched.RoundGen) *sched.WorkStealing {
+	ws := sched.NewWorkStealing(p.Cores, gen, p.Seed)
+	ws.StealOverheadInstr = stealOverhead(p.Model)
+	return ws
+}
+
+// registry holds all ten benchmarks in Table 1 order.
+var registry = []Spec{
+	utsSpec(),
+	sorSpec(IrregularTasks),
+	sorSpec(RegularTasks),
+	sorWSSpec(),
+	heatSpec(IrregularTasks),
+	heatSpec(RegularTasks),
+	heatWSSpec(),
+	miniFESpec(),
+	hpccgSpec(),
+	amgSpec(),
+}
+
+// All returns the benchmark specs in Table 1 order.
+func All() []Spec {
+	out := make([]Spec, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// Get looks a benchmark up by its Table 1 name.
+func Get(name string) (Spec, bool) {
+	for _, s := range registry {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+// Names returns all benchmark names in Table 1 order.
+func Names() []string {
+	out := make([]string, len(registry))
+	for i, s := range registry {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// HClibNames returns the benchmarks evaluated under HClib in §5.2, in
+// Table 1 order.
+func HClibNames() []string {
+	var out []string
+	for _, s := range registry {
+		if s.HClibPort {
+			out = append(out, s.Name)
+		}
+	}
+	return out
+}

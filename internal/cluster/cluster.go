@@ -1,0 +1,222 @@
+// Package cluster extends Cuttlefish to MPI+X style distributed programs,
+// the deployment §4.6 sketches: one multithreaded process per node
+// (OpenMP-style intra-node parallelism), bulk-synchronous exchange between
+// supersteps, and one independent Cuttlefish daemon per node profiling only
+// its own socket.
+//
+// The paper is explicit about the scope: Cuttlefish tunes each node's
+// frequencies to its local memory access pattern; it does not reclaim
+// inter-node slack the way Adagio-style runtimes do. The package models
+// that honestly — nodes that finish a superstep early idle at the barrier
+// with their frequencies wherever the local daemon put them — and the
+// imbalance experiment in this package's tests shows exactly the
+// limitation §4.6 names.
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/governor"
+	"repro/internal/machine"
+	"repro/internal/sched"
+)
+
+// Network is the inter-node communication model: a latency plus a
+// bandwidth term per superstep exchange, paid by every rank (all-to-all
+// style collectives dominate the paper's MPI+X motivation).
+type Network struct {
+	// LatencySec per exchange (software + fabric overhead).
+	LatencySec float64
+	// BytesPerSec of per-node injection bandwidth.
+	BytesPerSec float64
+}
+
+// DefaultNetwork is a 100 Gb/s-class fabric.
+func DefaultNetwork() Network {
+	return Network{LatencySec: 20e-6, BytesPerSec: 12e9}
+}
+
+// ExchangeTime returns the barrier-to-barrier communication time for a
+// per-rank payload of the given size.
+func (n Network) ExchangeTime(bytes float64) float64 {
+	if bytes <= 0 {
+		return 0
+	}
+	t := n.LatencySec
+	if n.BytesPerSec > 0 {
+		t += bytes / n.BytesPerSec
+	}
+	return t
+}
+
+// App is a bulk-synchronous MPI+X application: for every superstep each
+// rank gets a local work-sharing region list, then exchanges a payload.
+type App struct {
+	Steps int
+	// Compute returns rank's regions for the step. Region lists may differ
+	// per rank (load imbalance).
+	Compute func(rank, step int) []sched.Region
+	// ExchangeBytes returns rank's payload at the step boundary.
+	ExchangeBytes func(rank, step int) float64
+}
+
+// Policy selects the per-node frequency environment.
+type Policy int
+
+const (
+	// PolicyDefault runs every node under the performance governor with
+	// firmware Auto uncore.
+	PolicyDefault Policy = iota
+	// PolicyCuttlefish runs one Cuttlefish daemon per node.
+	PolicyCuttlefish
+)
+
+// Config describes the cluster.
+type Config struct {
+	Nodes   int
+	Machine machine.Config
+	Daemon  core.Config
+	Network Network
+	Policy  Policy
+	Seed    int64
+}
+
+// DefaultConfig is a 4-node cluster of the paper's sockets.
+func DefaultConfig() Config {
+	return Config{
+		Nodes:   4,
+		Machine: machine.DefaultConfig(),
+		Daemon:  core.DefaultConfig(),
+		Network: DefaultNetwork(),
+		Policy:  PolicyCuttlefish,
+	}
+}
+
+// NodeResult is one rank's outcome.
+type NodeResult struct {
+	Rank    int
+	Joules  float64
+	BusySec float64 // compute time
+	WaitSec float64 // barrier + communication time
+	Daemon  *core.Daemon
+}
+
+// Result is a cluster run.
+type Result struct {
+	Seconds float64 // wall time (all ranks synchronous)
+	Joules  float64 // cluster-wide energy
+	Nodes   []NodeResult
+}
+
+// node is one rank's simulated machine.
+type node struct {
+	m      *machine.Machine
+	daemon *core.Daemon
+}
+
+// Run executes the application on a fresh cluster and returns the outcome.
+func Run(cfg Config, app App) (Result, error) {
+	if cfg.Nodes <= 0 {
+		return Result{}, fmt.Errorf("cluster: need at least one node, got %d", cfg.Nodes)
+	}
+	if app.Steps <= 0 || app.Compute == nil {
+		return Result{}, fmt.Errorf("cluster: app needs steps and a compute function")
+	}
+	nodes := make([]*node, cfg.Nodes)
+	for i := range nodes {
+		m, err := machine.New(cfg.Machine)
+		if err != nil {
+			return Result{}, err
+		}
+		n := &node{m: m}
+		switch cfg.Policy {
+		case PolicyDefault:
+			if err := governor.Apply(governor.Performance, m.Device(), cfg.Machine.Cores, cfg.Machine.CoreGrid); err != nil {
+				return Result{}, err
+			}
+			m.SetFirmware(governor.DefaultAutoUFS())
+		case PolicyCuttlefish:
+			d, err := core.NewDaemon(cfg.Daemon, m.Device(), cfg.Machine.Cores, cfg.Machine.CoreGrid, cfg.Machine.UncoreGrid, 0)
+			if err != nil {
+				return Result{}, err
+			}
+			m.Schedule(&machine.Component{Period: cfg.Daemon.TinvSec, Core: cfg.Daemon.PinnedCore, Tick: d.Tick}, cfg.Daemon.TinvSec)
+			n.daemon = d
+		default:
+			return Result{}, fmt.Errorf("cluster: unknown policy %d", cfg.Policy)
+		}
+		nodes[i] = n
+	}
+
+	results := make([]NodeResult, cfg.Nodes)
+	for i := range results {
+		results[i] = NodeResult{Rank: i, Daemon: nodes[i].daemon}
+	}
+
+	for step := 0; step < app.Steps; step++ {
+		// Local compute: each rank runs its region list to completion on
+		// its own machine; simulated clocks advance independently here and
+		// re-synchronise at the barrier below.
+		barrier := 0.0
+		for rank, n := range nodes {
+			regions := app.Compute(rank, step)
+			start := n.m.Now()
+			if len(regions) > 0 {
+				src := sched.NewWorkSharing(cfg.Machine.Cores, sched.StaticProgram(regions, 1), cfg.Seed+int64(rank*7919+step))
+				n.m.SetSource(src)
+				n.m.Run(3600)
+				if !n.m.Finished() {
+					return Result{}, fmt.Errorf("cluster: rank %d wedged in step %d", rank, step)
+				}
+			}
+			results[rank].BusySec += n.m.Now() - start
+			if n.m.Now() > barrier {
+				barrier = n.m.Now()
+			}
+		}
+		// Exchange: the barrier releases when the slowest rank's payload
+		// has moved.
+		comm := 0.0
+		if app.ExchangeBytes != nil {
+			for rank := range nodes {
+				if t := cfg.Network.ExchangeTime(app.ExchangeBytes(rank, step)); t > comm {
+					comm = t
+				}
+			}
+		}
+		barrier += comm
+		// Idle-spin every rank to the barrier: no workload, but the clock,
+		// power model and daemon keep running — early finishers burn idle
+		// energy at whatever frequencies their daemon chose, the §4.6
+		// limitation.
+		for rank, n := range nodes {
+			wait := barrier - n.m.Now()
+			if wait < 0 {
+				continue
+			}
+			results[rank].WaitSec += wait
+			n.m.SetSource(nil)
+			for n.m.Now() < barrier-1e-12 {
+				n.m.Step()
+			}
+		}
+	}
+
+	var res Result
+	for rank, n := range nodes {
+		if n.daemon != nil {
+			n.daemon.Stop()
+			if err := n.daemon.Err(); err != nil {
+				return Result{}, fmt.Errorf("cluster: rank %d daemon: %w", rank, err)
+			}
+		}
+		results[rank].Joules = n.m.TotalEnergy()
+		res.Joules += results[rank].Joules
+		if n.m.Now() > res.Seconds {
+			res.Seconds = n.m.Now()
+		}
+	}
+	res.Nodes = results
+	return res, nil
+}

@@ -1,0 +1,305 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/freq"
+	"repro/internal/msr"
+	"repro/internal/tipi"
+)
+
+// Policy selects which frequency domains the daemon adapts — the paper's
+// three build-time variants (§5).
+type Policy int
+
+const (
+	// PolicyBoth is full Cuttlefish: DVFS then UFS per slab.
+	PolicyBoth Policy = iota
+	// PolicyCoreOnly adapts only core frequency, uncore pinned at max.
+	PolicyCoreOnly
+	// PolicyUncoreOnly adapts only uncore frequency, cores pinned at max.
+	PolicyUncoreOnly
+)
+
+func (p Policy) String() string {
+	switch p {
+	case PolicyBoth:
+		return "cuttlefish"
+	case PolicyCoreOnly:
+		return "cuttlefish-core"
+	case PolicyUncoreOnly:
+		return "cuttlefish-uncore"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// Config parametrises the daemon.
+type Config struct {
+	Policy Policy
+	// TinvSec is the profiling interval (20 ms default, §5.4).
+	TinvSec float64
+	// WarmupSec delays the loop past the cold-cache fluctuation (§4.1).
+	WarmupSec float64
+	// SlabWidth buckets TIPI values (0.004, §3.2).
+	SlabWidth float64
+	// PinnedCore is the core the daemon time-shares.
+	PinnedCore int
+	// TickCPUSec is the CPU time one activation costs that core.
+	TickCPUSec float64
+
+	// Ablation switches (all false in the paper's configuration). They
+	// exist to quantify what each runtime optimisation buys; the ablation
+	// experiment and BenchmarkAblation report the cost of turning each off.
+
+	// DisableNeighborSeeding turns off §4.4: new slabs explore from the
+	// full default range instead of inheriting neighbour bounds.
+	DisableNeighborSeeding bool
+	// DisableRevalidation turns off §4.5: bound changes no longer
+	// propagate along the slab list.
+	DisableRevalidation bool
+	// DisableUFEstimation turns off Algorithm 3: uncore exploration uses
+	// the full grid instead of the CFopt-derived window.
+	DisableUFEstimation bool
+}
+
+// DefaultConfig returns the paper's deployment configuration.
+func DefaultConfig() Config {
+	return Config{
+		Policy:     PolicyBoth,
+		TinvSec:    20e-3,
+		WarmupSec:  2.0,
+		SlabWidth:  tipi.DefaultSlabWidth,
+		PinnedCore: 0,
+		TickCPUSec: 25e-6,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.TinvSec <= 0 {
+		return fmt.Errorf("core: Tinv must be positive, got %g", c.TinvSec)
+	}
+	if c.WarmupSec < 0 {
+		return fmt.Errorf("core: warmup must be non-negative, got %g", c.WarmupSec)
+	}
+	if c.SlabWidth <= 0 {
+		return fmt.Errorf("core: slab width must be positive, got %g", c.SlabWidth)
+	}
+	if c.TickCPUSec < 0 {
+		return fmt.Errorf("core: tick CPU cost must be non-negative, got %g", c.TickCPUSec)
+	}
+	return nil
+}
+
+// Daemon is the Cuttlefish daemon thread (Algorithm 1): woken every Tinv,
+// it samples TIPI/JPI, maintains the slab list, explores frequencies for
+// unresolved slabs and pins resolved ones at their optima.
+type Daemon struct {
+	cfg    Config
+	dev    *msr.Device
+	cores  int
+	cfGrid freq.Grid
+	ufGrid freq.Grid
+	prof   *Profiler
+	list   *tipi.List
+
+	nprev          *tipi.Node
+	cfPrev, ufPrev freq.Level
+	warmupEnd      float64
+	warmed         bool
+	stopped        bool
+	samples        int
+	exploring      int // samples spent with the current slab unresolved
+	lastErr        error
+}
+
+// NewDaemon builds the daemon and performs Algorithm 1 lines 1–2: both
+// frequency domains are raised to maximum through the device. startTime is
+// the simulation time of cuttlefish::start(); the loop activates after the
+// warmup elapses.
+func NewDaemon(cfg Config, dev *msr.Device, cores int, cfGrid, ufGrid freq.Grid, startTime float64) (*Daemon, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	prof, err := NewProfiler(dev, cores)
+	if err != nil {
+		return nil, err
+	}
+	d := &Daemon{
+		cfg:       cfg,
+		dev:       dev,
+		cores:     cores,
+		cfGrid:    cfGrid,
+		ufGrid:    ufGrid,
+		prof:      prof,
+		list:      tipi.NewList(cfGrid, ufGrid),
+		cfPrev:    cfGrid.MaxLevel(),
+		ufPrev:    ufGrid.MaxLevel(),
+		warmupEnd: startTime + cfg.WarmupSec,
+	}
+	if err := d.setFreq(d.cfPrev, d.ufPrev, true); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// List exposes the discovered slab list (experiment reporting).
+func (d *Daemon) List() *tipi.List { return d.list }
+
+// Samples returns how many valid Tinv samples the daemon has processed.
+func (d *Daemon) Samples() int { return d.samples }
+
+// ExplorationSamples returns how many of those samples arrived while the
+// current slab's optima were still unresolved — the time the application
+// spent under exploration rather than at its optimal frequencies. The
+// §4.4/§4.5 optimisations exist to shrink this number.
+func (d *Daemon) ExplorationSamples() int { return d.exploring }
+
+// Err returns the first MSR access error the daemon hit, if any.
+func (d *Daemon) Err() error { return d.lastErr }
+
+// Stop halts the loop (cuttlefish::stop()); subsequent ticks are no-ops.
+func (d *Daemon) Stop() { d.stopped = true }
+
+// Tick is the machine.Component hook: one Tinv activation. It returns the
+// CPU time consumed on the pinned core.
+func (d *Daemon) Tick(now float64) float64 {
+	if d.stopped || d.lastErr != nil {
+		return 0
+	}
+	if now < d.warmupEnd {
+		return 0 // still asleep (Algorithm 1 line 3)
+	}
+	if !d.warmed {
+		d.warmed = true
+		if err := d.prof.Reset(); err != nil {
+			d.lastErr = err
+		}
+		return d.cfg.TickCPUSec
+	}
+	s, err := d.prof.Sample()
+	if err != nil {
+		d.lastErr = err
+		return d.cfg.TickCPUSec
+	}
+	if !s.OK {
+		// Nothing retired: an idle or blocked interval. Discard and treat
+		// the next sample as a phase transition.
+		d.nprev = nil
+		return d.cfg.TickCPUSec
+	}
+	d.step(s)
+	return d.cfg.TickCPUSec
+}
+
+// step is Algorithm 1 lines 7–35 for one sample.
+func (d *Daemon) step(s Sample) {
+	slab := tipi.SlabOf(s.TIPI, d.cfg.SlabWidth)
+	ncurr := d.list.Lookup(slab)
+	if ncurr == nil {
+		ncurr = d.list.Insert(slab)
+		d.seedCFBounds(ncurr) // §4.4 (no-op with a single node)
+		if d.cfg.Policy == PolicyUncoreOnly {
+			d.seedUFBounds(ncurr)
+		}
+	}
+	samePhase := d.nprev == ncurr
+	ncurr.Hits++
+	d.samples++
+	switch d.cfg.Policy {
+	case PolicyCoreOnly:
+		if !ncurr.CF.HasOpt() {
+			d.exploring++
+		}
+	case PolicyUncoreOnly:
+		if !ncurr.UF.HasOpt() {
+			d.exploring++
+		}
+	default:
+		if !ncurr.CF.HasOpt() || !ncurr.UF.HasOpt() {
+			d.exploring++
+		}
+	}
+
+	cfMax := d.cfGrid.MaxLevel()
+	ufMax := d.ufGrid.MaxLevel()
+	var cfNext, ufNext freq.Level
+
+	switch d.cfg.Policy {
+	case PolicyCoreOnly:
+		ufNext = ufMax
+		cfNext = d.find(ncurr, domainCF, s.JPI, d.cfPrev, samePhase)
+
+	case PolicyUncoreOnly:
+		cfNext = cfMax
+		ufNext = d.find(ncurr, domainUF, s.JPI, d.ufPrev, samePhase)
+
+	case PolicyBoth:
+		switch {
+		case !ncurr.CF.HasOpt():
+			cfNext = d.find(ncurr, domainCF, s.JPI, d.cfPrev, samePhase)
+			ufNext = ufMax
+			if ncurr.CF.HasOpt() {
+				// Algorithm 1 lines 20–24: CFopt just resolved; estimate
+				// the uncore window and jump to its right bound.
+				d.prepareUF(ncurr)
+				ufNext = ncurr.UF.RB()
+			}
+		case !ncurr.UF.HasOpt():
+			cfNext = ncurr.CF.Opt()
+			if !ncurr.UFRangeSet {
+				// CFopt was resolved by neighbour propagation rather than
+				// this slab's own exploration; set the window up now.
+				d.prepareUF(ncurr)
+				ufNext = ncurr.UF.RB()
+			} else {
+				ufNext = d.find(ncurr, domainUF, s.JPI, d.ufPrev, samePhase)
+			}
+		default:
+			cfNext, ufNext = ncurr.CF.Opt(), ncurr.UF.Opt()
+		}
+	}
+
+	if err := d.setFreq(cfNext, ufNext, false); err != nil {
+		d.lastErr = err
+		return
+	}
+	d.nprev = ncurr
+	d.cfPrev, d.ufPrev = cfNext, ufNext
+}
+
+// prepareUF runs Algorithm 3 plus the §4.4 neighbour seeding for a slab
+// whose CFopt is known, exactly once.
+func (d *Daemon) prepareUF(n *tipi.Node) {
+	if n.UFRangeSet {
+		return
+	}
+	if !d.cfg.DisableUFEstimation {
+		lb, rb := estimateUFRange(d.cfGrid, d.ufGrid, n.CF.Opt())
+		n.UF.NarrowLB(lb)
+		n.UF.NarrowRB(rb)
+	}
+	d.seedUFBounds(n)
+	n.UFRangeSet = true
+}
+
+// setFreq actuates both domains through the device (Algorithm 1 line 33),
+// skipping redundant writes. force writes unconditionally.
+func (d *Daemon) setFreq(cf, uf freq.Level, force bool) error {
+	if force || cf != d.cfPrev {
+		ratio := uint8(d.cfGrid.Ratio(cf))
+		for c := 0; c < d.cores; c++ {
+			if err := d.dev.Write(msr.IA32PerfCtl, c, msr.PerfCtlRaw(ratio)); err != nil {
+				return fmt.Errorf("core: DVFS write core %d: %w", c, err)
+			}
+		}
+	}
+	if force || uf != d.ufPrev {
+		ratio := uint8(d.ufGrid.Ratio(uf))
+		if err := d.dev.Write(msr.UncoreRatioLimit, 0, msr.UncoreLimitRaw(ratio, ratio)); err != nil {
+			return fmt.Errorf("core: UFS write: %w", err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,271 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/msr"
+	"repro/internal/workload"
+)
+
+// steadySource feeds every core an endless stream of identical segments.
+type steadySource struct{ seg workload.Segment }
+
+func (s steadySource) NextSegment(core int, now float64) (workload.Segment, bool) {
+	return s.seg, true
+}
+func (s steadySource) Complete(core int, now float64) {}
+func (s steadySource) Done() bool                     { return false }
+
+func newMachineAndDaemon(t *testing.T, cfg Config) (*machine.Machine, *Daemon) {
+	t.Helper()
+	mcfg := machine.DefaultConfig()
+	mcfg.Cores = 8
+	m := machine.MustNew(mcfg)
+	d, err := NewDaemon(cfg, m.Device(), mcfg.Cores, mcfg.CoreGrid, mcfg.UncoreGrid, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Schedule(&machine.Component{Period: cfg.TinvSec, Core: cfg.PinnedCore, Tick: d.Tick}, cfg.TinvSec)
+	return m, d
+}
+
+func TestConfigValidation(t *testing.T) {
+	for _, tc := range []func(*Config){
+		func(c *Config) { c.TinvSec = 0 },
+		func(c *Config) { c.WarmupSec = -1 },
+		func(c *Config) { c.SlabWidth = 0 },
+		func(c *Config) { c.TickCPUSec = -1 },
+	} {
+		cfg := DefaultConfig()
+		tc(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("invalid config accepted: %+v", cfg)
+		}
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if PolicyBoth.String() != "cuttlefish" ||
+		PolicyCoreOnly.String() != "cuttlefish-core" ||
+		PolicyUncoreOnly.String() != "cuttlefish-uncore" {
+		t.Error("policy names drifted from the paper's")
+	}
+	if Policy(99).String() == "" {
+		t.Error("unknown policy must still stringify")
+	}
+}
+
+func TestDaemonSleepsThroughWarmup(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.WarmupSec = 1.0
+	m, d := newMachineAndDaemon(t, cfg)
+	m.SetSource(steadySource{seg: workload.Segment{Instructions: 1e6, MissPerInstr: 0.02, IPC: 2}})
+	for m.Now() < 0.9 {
+		m.Step()
+	}
+	if d.Samples() != 0 {
+		t.Errorf("daemon sampled %d times during warmup (§4.1)", d.Samples())
+	}
+	for m.Now() < 2.0 {
+		m.Step()
+	}
+	if d.Samples() == 0 {
+		t.Error("daemon never woke after warmup")
+	}
+}
+
+func TestDaemonDiscardsIdleIntervals(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.WarmupSec = 0.1
+	m, d := newMachineAndDaemon(t, cfg)
+	// No source: no instructions retire; every interval is discarded.
+	for m.Now() < 1.0 {
+		m.Step()
+	}
+	if d.Samples() != 0 {
+		t.Errorf("idle machine produced %d samples; should all be discarded", d.Samples())
+	}
+	if d.List().Len() != 0 {
+		t.Error("idle machine must not grow the slab list")
+	}
+}
+
+func TestDaemonStopsOnDeniedMSR(t *testing.T) {
+	// Failure injection: a device whose allow-list forbids DVFS writes.
+	mcfg := machine.DefaultConfig()
+	mcfg.Cores = 4
+	m := machine.MustNew(mcfg)
+	crippled := msr.NewDevice(m.File(), msr.Allowlist{
+		AllowReadAll: true,
+		WriteMask:    map[uint32]uint64{msr.UncoreRatioLimit: 0x7f7f},
+	})
+	cfg := DefaultConfig()
+	cfg.WarmupSec = 0.1
+	if _, err := NewDaemon(cfg, crippled, mcfg.Cores, mcfg.CoreGrid, mcfg.UncoreGrid, 0); err == nil {
+		t.Fatal("daemon construction must fail when the initial DVFS write is denied")
+	}
+}
+
+func TestDaemonSurfacesRuntimeErrors(t *testing.T) {
+	// A device that loses write permission mid-run: the daemon records the
+	// error and halts instead of panicking.
+	mcfg := machine.DefaultConfig()
+	mcfg.Cores = 4
+	m := machine.MustNew(mcfg)
+	allow := msr.Allowlist{AllowReadAll: true, WriteMask: map[uint32]uint64{
+		msr.IA32PerfCtl:      0xffff,
+		msr.UncoreRatioLimit: 0x7f7f,
+	}}
+	dev := msr.NewDevice(m.File(), allow)
+	cfg := DefaultConfig()
+	cfg.WarmupSec = 0.1
+	d, err := NewDaemon(cfg, dev, mcfg.Cores, mcfg.CoreGrid, mcfg.UncoreGrid, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Schedule(&machine.Component{Period: cfg.TinvSec, Tick: d.Tick}, cfg.TinvSec)
+	m.SetSource(steadySource{seg: workload.Segment{Instructions: 1e6, MissPerInstr: 0.1, IPC: 2}})
+	// Revoke the uncore write permission once exploration is under way.
+	delete(allow.WriteMask, msr.UncoreRatioLimit)
+	for m.Now() < 4.0 && d.Err() == nil {
+		m.Step()
+	}
+	if d.Err() == nil {
+		t.Fatal("daemon never surfaced the denied write")
+	}
+	samplesAtError := d.Samples()
+	for i := 0; i < 100; i++ {
+		m.Step()
+	}
+	if d.Samples() != samplesAtError {
+		t.Error("daemon kept running after a fatal MSR error")
+	}
+}
+
+func TestDaemonStopHaltsTicks(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.WarmupSec = 0.1
+	m, d := newMachineAndDaemon(t, cfg)
+	m.SetSource(steadySource{seg: workload.Segment{Instructions: 1e6, MissPerInstr: 0.02, IPC: 2}})
+	for m.Now() < 1.0 {
+		m.Step()
+	}
+	n := d.Samples()
+	if n == 0 {
+		t.Fatal("daemon idle before stop")
+	}
+	d.Stop()
+	for m.Now() < 2.0 {
+		m.Step()
+	}
+	if d.Samples() != n {
+		t.Error("ticks continued after Stop")
+	}
+}
+
+func TestCoreOnlyNeverTouchesUncore(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Policy = PolicyCoreOnly
+	cfg.WarmupSec = 0.1
+	m, d := newMachineAndDaemon(t, cfg)
+	m.SetSource(steadySource{seg: workload.Segment{Instructions: 1e6, MissPerInstr: 0.12, IPC: 2, Exposure: 0.7}})
+	for m.Now() < 8.0 {
+		m.Step()
+	}
+	if err := d.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.UncoreRatio(); got != m.Config().UncoreGrid.Max {
+		t.Errorf("Cuttlefish-Core moved the uncore to %v; must stay at max", got)
+	}
+	// It still explores the core domain downward for a memory-bound MAP.
+	if got := m.CoreRatio(0); got == m.Config().CoreGrid.Max {
+		t.Error("Cuttlefish-Core never moved the core frequency")
+	}
+}
+
+func TestUncoreOnlyNeverTouchesCores(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Policy = PolicyUncoreOnly
+	cfg.WarmupSec = 0.1
+	m, d := newMachineAndDaemon(t, cfg)
+	m.SetSource(steadySource{seg: workload.Segment{Instructions: 1e6, MissPerInstr: 0.002, IPC: 2}})
+	for m.Now() < 8.0 {
+		m.Step()
+	}
+	if err := d.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.CoreRatio(3); got != m.Config().CoreGrid.Max {
+		t.Errorf("Cuttlefish-Uncore moved a core to %v; must stay at max", got)
+	}
+	if got := m.UncoreRatio(); got == m.Config().UncoreGrid.Max {
+		t.Error("Cuttlefish-Uncore never moved the uncore")
+	}
+}
+
+func TestExplorationSamplesCounted(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.WarmupSec = 0.1
+	m, d := newMachineAndDaemon(t, cfg)
+	m.SetSource(steadySource{seg: workload.Segment{Instructions: 1e6, MissPerInstr: 0.002, IPC: 2}})
+	for m.Now() < 12.0 {
+		m.Step()
+	}
+	if d.ExplorationSamples() == 0 {
+		t.Fatal("exploration counter never advanced")
+	}
+	if d.ExplorationSamples() >= d.Samples() {
+		t.Errorf("exploration (%d) should end well before the run (%d samples): optimum found and pinned",
+			d.ExplorationSamples(), d.Samples())
+	}
+}
+
+func TestProfilerWraparound(t *testing.T) {
+	// Force the RAPL counter close to 2^32 and verify the delta math
+	// survives the wrap.
+	mcfg := machine.DefaultConfig()
+	mcfg.Cores = 2
+	m := machine.MustNew(mcfg)
+	prof, err := NewProfiler(m.Device(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Prime, then run the machine enough to publish energy.
+	if err := prof.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	m.SetSource(steadySource{seg: workload.Segment{Instructions: 1e6, MissPerInstr: 0.01, IPC: 2}})
+	for i := 0; i < 100; i++ {
+		m.Step()
+	}
+	s, err := prof.Sample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.OK || s.JPI <= 0 || s.TIPI <= 0 {
+		t.Errorf("sample not usable: %+v", s)
+	}
+	// JPI in a plausible nanojoule band.
+	if s.JPI < 0.1e-9 || s.JPI > 100e-9 {
+		t.Errorf("JPI = %g J, implausible", s.JPI)
+	}
+}
+
+func TestProfilerFirstSampleNotOK(t *testing.T) {
+	mcfg := machine.DefaultConfig()
+	mcfg.Cores = 2
+	m := machine.MustNew(mcfg)
+	prof, err := NewProfiler(m.Device(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := prof.Sample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.OK {
+		t.Error("first sample primes the baseline and must not be OK")
+	}
+}

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"repro/internal/freq"
+	"repro/internal/tipi"
+)
+
+// domain selects which frequency dimension an operation applies to; the
+// neighbour-propagation directions are mirrored between the two (§4.4).
+type domain int
+
+const (
+	domainCF domain = iota
+	domainUF
+)
+
+func (d domain) explorer(n *tipi.Node) *tipi.Explorer {
+	if d == domainCF {
+		return n.CF
+	}
+	return n.UF
+}
+
+// find is Algorithm 2: one step of the highest→lowest, stride-two JPI
+// exploration for one domain of one slab node. jpiCurr is this Tinv's JPI
+// reading, fqPrev the level the domain ran at during that interval, and
+// samePhase whether the previous interval executed in the same slab
+// (readings spanning a TIPI transition are discarded, lines 6–8).
+// It returns the level to run next.
+func (d *Daemon) find(n *tipi.Node, dom domain, jpiCurr float64, fqPrev freq.Level, samePhase bool) freq.Level {
+	e := dom.explorer(n)
+	if e.HasOpt() {
+		return e.Opt()
+	}
+	// Lines 2–5: adjacent bounds resolve via the Fig. 5 rule.
+	if e.Adjacent() {
+		opt := e.ChooseAdjacent()
+		d.revalidate(n, dom)
+		return opt
+	}
+	// Lines 6–8: accumulate this reading unless the phase just changed.
+	if samePhase && fqPrev >= e.LB() && fqPrev <= e.RB() {
+		e.Record(fqPrev, jpiCurr)
+	}
+	// Lines 9–13: keep measuring until averages exist at RB and the probe.
+	rb := e.RB()
+	if _, ok := e.Avg(rb); !ok {
+		return rb
+	}
+	probe := rb - 2
+	if probe < e.LB() {
+		probe = e.LB()
+	}
+	if probe == rb {
+		// Bounds collapsed between calls (neighbour propagation); resolve.
+		e.SetOpt(rb)
+		d.revalidate(n, dom)
+		return rb
+	}
+	avgProbe, ok := e.Avg(probe)
+	if !ok {
+		return probe
+	}
+	avgRB, _ := e.Avg(rb)
+	var next freq.Level
+	if avgProbe < avgRB {
+		// Lines 14–16: the minimum lies at or below the probe.
+		e.NarrowRB(probe)
+		if e.RB()-e.LB() > 2 {
+			next = e.RB() - 2
+		} else {
+			next = e.LB()
+		}
+	} else {
+		// Lines 17–19: JPI rose stepping down; minimum between RB-1 and RB.
+		e.NarrowLB(rb - 1)
+		next = e.LB()
+	}
+	// Lines 20–21 are Explorer.resolveCollapsed; line 23 is §4.5.
+	d.revalidate(n, dom)
+	if e.HasOpt() {
+		return e.Opt()
+	}
+	return next
+}
+
+// revalidate is the §4.5 optimisation (Algorithm 2 line 23): whenever a
+// node's bounds tighten, the monotone ordering of optima along the list
+// tightens its neighbours too, cascading outward.
+//
+// Core frequency decreases left→right (compute-bound slabs want fast
+// cores), so a node's lower-bound knowledge raises every left neighbour's
+// LB and its upper-bound knowledge lowers every right neighbour's RB.
+// Uncore frequency increases left→right, so the directions mirror.
+func (d *Daemon) revalidate(n *tipi.Node, dom domain) {
+	if d.cfg.DisableRevalidation || d.list.Len() <= 1 {
+		return
+	}
+	switch dom {
+	case domainCF:
+		cur := n
+		for l := n.Prev(); l != nil; l = l.Prev() {
+			l.CF.NarrowLB(cur.CF.BoundOrOptLB())
+			cur = l
+		}
+		cur = n
+		for r := n.Next(); r != nil; r = r.Next() {
+			r.CF.NarrowRB(cur.CF.BoundOrOptRB())
+			cur = r
+		}
+	case domainUF:
+		cur := n
+		for l := n.Prev(); l != nil; l = l.Prev() {
+			l.UF.NarrowRB(cur.UF.BoundOrOptRB())
+			cur = l
+		}
+		cur = n
+		for r := n.Next(); r != nil; r = r.Next() {
+			r.UF.NarrowLB(cur.UF.BoundOrOptLB())
+			cur = r
+		}
+	}
+}
+
+// seedCFBounds is the §4.4 optimisation at node insertion: a new slab's CF
+// exploration range is pinched between its neighbours' knowledge — the
+// left (more compute-bound) neighbour bounds it from above, the right from
+// below (Fig. 6).
+func (d *Daemon) seedCFBounds(n *tipi.Node) {
+	if d.cfg.DisableNeighborSeeding || d.list.Len() <= 1 {
+		return
+	}
+	if l := n.Prev(); l != nil {
+		n.CF.NarrowRB(l.CF.BoundOrOptRB())
+	}
+	if r := n.Next(); r != nil {
+		n.CF.NarrowLB(r.CF.BoundOrOptLB())
+	}
+}
+
+// seedUFBounds mirrors seedCFBounds for the uncore (Fig. 7): the left
+// neighbour bounds from below, the right from above.
+func (d *Daemon) seedUFBounds(n *tipi.Node) {
+	if d.cfg.DisableNeighborSeeding || d.list.Len() <= 1 {
+		return
+	}
+	if l := n.Prev(); l != nil {
+		n.UF.NarrowLB(l.UF.BoundOrOptLB())
+	}
+	if r := n.Next(); r != nil {
+		n.UF.NarrowRB(r.UF.BoundOrOptRB())
+	}
+}
+
+// estimateUFRange is Algorithm 3: map CFopt onto the anti-correlated
+// straight line between (CFmax → UFmin) and (CFmin → UFmax), and open a
+// window of 4·(#UF levels / #CF levels) around the estimate, sliding the
+// window inward when it clips a grid edge.
+func estimateUFRange(cfGrid, ufGrid freq.Grid, cfOpt freq.Level) (lb, rb freq.Level) {
+	ufMax := float64(ufGrid.MaxLevel())
+	cfMax := float64(cfGrid.MaxLevel())
+	rng := 4 * float64(ufGrid.Levels()) / float64(cfGrid.Levels())
+	alpha := ufMax / cfMax // levels are zero-based: (UFmax-UFmin)/(CFmax-CFmin)
+	est := ufMax - alpha*float64(cfOpt)
+	half := rng / 2
+	lo := est - half
+	hi := est + half
+	if ufMax-est <= half {
+		lo -= est + half - ufMax
+	}
+	if est <= half {
+		hi += half - est
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > ufMax {
+		hi = ufMax
+	}
+	lb, rb = freq.Level(lo+0.5), freq.Level(hi+0.5)
+	if lb > rb {
+		lb = rb
+	}
+	return lb, rb
+}

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/freq"
+	"repro/internal/tipi"
+)
+
+// unimodalCurve builds a JPI-by-level curve with a single minimum at the
+// given level: strictly decreasing toward it from both sides, which is the
+// physical shape §3.2 establishes (energy bathtub between race-to-idle and
+// crawl-to-finish).
+func unimodalCurve(levels int, minAt freq.Level, r *rand.Rand) []float64 {
+	curve := make([]float64, levels)
+	// Build outward from the minimum with random positive increments.
+	curve[minAt] = 1 + r.Float64()
+	for l := int(minAt) - 1; l >= 0; l-- {
+		curve[l] = curve[l+1] + 0.05 + r.Float64()*0.5
+	}
+	for l := int(minAt) + 1; l < levels; l++ {
+		curve[l] = curve[l-1] + 0.05 + r.Float64()*0.5
+	}
+	return curve
+}
+
+// exploreToCompletion drives find on a curve until the optimum resolves,
+// checking structural invariants on the way. Returns the resolved level.
+func exploreToCompletion(t *testing.T, grid freq.Grid, curve []float64) freq.Level {
+	t.Helper()
+	d := newTestDaemonGrid(t, grid)
+	n := d.list.Insert(0)
+	e := n.CF
+	cur := e.RB()
+	for i := 0; i < 2000; i++ {
+		prevLB, prevRB := e.LB(), e.RB()
+		next := d.find(n, domainCF, curve[cur], cur, true)
+		if next < 0 || int(next) >= grid.Levels() {
+			t.Fatalf("find returned off-grid level %d", next)
+		}
+		// Bounds never widen.
+		if e.LB() < prevLB || e.RB() > prevRB {
+			t.Fatalf("bounds widened: [%d,%d] -> [%d,%d]", prevLB, prevRB, e.LB(), e.RB())
+		}
+		if e.HasOpt() {
+			return e.Opt()
+		}
+		cur = next
+	}
+	t.Fatal("exploration did not terminate")
+	return 0
+}
+
+func newTestDaemonGrid(t *testing.T, grid freq.Grid) *Daemon {
+	t.Helper()
+	d := newTestDaemon(t)
+	d.cfGrid = grid
+	d.ufGrid = grid
+	d.list = tipi.NewList(grid, grid)
+	return d
+}
+
+// TestFindConvergesNearMinimumQuick: on any unimodal curve over any grid
+// size, exploration terminates at a level whose JPI is within two stride
+// steps of the true minimum (the stride-two walk plus the Fig. 5 tie-break
+// can land one level off; it must never land far away).
+func TestFindConvergesNearMinimumQuick(t *testing.T) {
+	prop := func(levelsRaw, minRaw uint8, seed int64) bool {
+		levels := 4 + int(levelsRaw%16) // grids of 4..19 levels
+		minAt := freq.Level(int(minRaw) % levels)
+		grid := freq.Grid{Min: 10, Max: freq.Ratio(10 + levels - 1)}
+		curve := unimodalCurve(levels, minAt, rand.New(rand.NewSource(seed)))
+		var got freq.Level
+		tt := &testing.T{}
+		got = exploreToCompletion(tt, grid, curve)
+		if tt.Failed() {
+			return false
+		}
+		diff := int(got) - int(minAt)
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff <= 2
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFindVisitsOnlyBoundedLevels: the exploration never asks the machine
+// to run outside the current bounds (performance protection).
+func TestFindVisitsOnlyBoundedLevels(t *testing.T) {
+	grid := freq.Grid{Min: 10, Max: 21}
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		minAt := freq.Level(r.Intn(grid.Levels()))
+		curve := unimodalCurve(grid.Levels(), minAt, r)
+		d := newTestDaemonGrid(t, grid)
+		n := d.list.Insert(0)
+		e := n.CF
+		cur := e.RB()
+		for i := 0; i < 2000 && !e.HasOpt(); i++ {
+			if cur < e.LB() || cur > e.RB() {
+				t.Fatalf("trial %d: running at level %d outside bounds [%d,%d]",
+					trial, cur, e.LB(), e.RB())
+			}
+			cur = d.find(n, domainCF, curve[cur], cur, true)
+		}
+	}
+}
+
+// TestFindOptWithinSeededBounds: when §4.4 seeding narrows a node before
+// exploration starts, the resolved optimum stays within those bounds.
+func TestFindOptWithinSeededBoundsQuick(t *testing.T) {
+	grid := freq.Grid{Min: 10, Max: 21}
+	prop := func(lbRaw, rbRaw uint8, seed int64) bool {
+		lb := freq.Level(int(lbRaw) % grid.Levels())
+		rb := freq.Level(int(rbRaw) % grid.Levels())
+		if lb > rb {
+			lb, rb = rb, lb
+		}
+		d := newTestDaemon(t)
+		d.cfGrid = grid
+		d.list = tipi.NewList(grid, grid)
+		n := d.list.Insert(0)
+		n.CF.SetBounds(lb, rb)
+		levels := int64(grid.Levels())
+		minAt := freq.Level(((seed % levels) + levels) % levels)
+		curve := unimodalCurve(grid.Levels(), minAt, rand.New(rand.NewSource(seed)))
+		cur := n.CF.RB()
+		for i := 0; i < 2000 && !n.CF.HasOpt(); i++ {
+			cur = d.find(n, domainCF, curve[cur], cur, true)
+		}
+		opt := n.CF.Opt()
+		return n.CF.HasOpt() && opt >= lb && opt <= rb
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,254 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/freq"
+	"repro/internal/machine"
+	"repro/internal/tipi"
+)
+
+// hypoGrid is the paper's hypothetical 7-level processor (A..G) used in
+// Figs. 4–9.
+var hypoGrid = freq.Grid{Min: 10, Max: 16}
+
+// newTestDaemon builds a daemon over a tiny machine, with the hypothetical
+// grid for both domains so exploration unit tests mirror the paper's
+// figures level for level.
+func newTestDaemon(t *testing.T) *Daemon {
+	t.Helper()
+	cfg := machine.DefaultConfig()
+	cfg.Cores = 2
+	m := machine.MustNew(cfg)
+	d, err := NewDaemon(DefaultConfig(), m.Device(), 2, hypoGrid, hypoGrid, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// driveFind repeatedly calls find with a synthetic JPI-by-level curve,
+// simulating the daemon running at whatever level find returns, until the
+// optimum resolves. It returns the sequence of levels visited.
+func driveFind(t *testing.T, d *Daemon, n *tipi.Node, dom domain, jpi func(freq.Level) float64) []freq.Level {
+	t.Helper()
+	e := dom.explorer(n)
+	cur := e.RB() // exploration starts at the right bound
+	var visited []freq.Level
+	for i := 0; i < 500; i++ {
+		visited = append(visited, cur)
+		next := d.find(n, dom, jpi(cur), cur, true)
+		if e.HasOpt() {
+			return visited
+		}
+		cur = next
+	}
+	t.Fatal("find did not resolve in 500 steps")
+	return nil
+}
+
+func TestFindFig4DescendingJPI(t *testing.T) {
+	// Fig. 4: JPI strictly falls toward A; exploration visits G, E, C, A
+	// (10 readings each) and resolves CFopt = A.
+	d := newTestDaemon(t)
+	n := d.list.Insert(0)
+	jpi := func(l freq.Level) float64 { return 1 + float64(l) } // lower level = lower JPI
+	visited := driveFind(t, d, n, domainCF, jpi)
+
+	if got := n.CF.Opt(); got != 0 {
+		t.Errorf("CFopt = %d, want 0 (A)", got)
+	}
+	counts := map[freq.Level]int{}
+	for _, l := range visited {
+		counts[l]++
+	}
+	for _, l := range []freq.Level{6, 4, 2, 0} {
+		if counts[l] < tipi.SamplesPerAvg {
+			t.Errorf("level %d visited %d times, want ≥ %d (10-reading average)", l, counts[l], tipi.SamplesPerAvg)
+		}
+	}
+	for _, l := range []freq.Level{5, 3, 1} {
+		if counts[l] != 0 {
+			t.Errorf("odd level %d visited %d times; stride-two walk should skip it", l, counts[l])
+		}
+	}
+}
+
+func TestFindFig5aAdjacentPicksHigh(t *testing.T) {
+	// Fig. 5(a): JPI(E) > JPI(G) → LB = F; the adjacent pair (F,G) sits at
+	// the top of the grid, so the optimum is G (protect performance).
+	d := newTestDaemon(t)
+	n := d.list.Insert(0)
+	jpi := func(l freq.Level) float64 {
+		if l == 6 {
+			return 1.0
+		}
+		return 2.0
+	}
+	driveFind(t, d, n, domainCF, jpi)
+	if got := n.CF.Opt(); got != 6 {
+		t.Errorf("CFopt = %d, want 6 (G)", got)
+	}
+}
+
+func TestFindFig5bAdjacentPicksLow(t *testing.T) {
+	// Fig. 5(b): exploration reached (LB=A, RB=C) with JPI(A) > JPI(C);
+	// LB becomes B and the pair (B,C) sits low in the grid, so the optimum
+	// is B (maximise energy efficiency).
+	d := newTestDaemon(t)
+	n := d.list.Insert(0)
+	// Convex with minimum between B and C: strictly falling to C then
+	// rising at A.
+	vals := map[freq.Level]float64{6: 6, 5: 5.5, 4: 5, 3: 4, 2: 3, 1: 2.8, 0: 3.5}
+	driveFind(t, d, n, domainCF, func(l freq.Level) float64 { return vals[l] })
+	if got := n.CF.Opt(); got != 1 {
+		t.Errorf("CFopt = %d, want 1 (B)", got)
+	}
+}
+
+func TestFindDiscardsTransitionReadings(t *testing.T) {
+	d := newTestDaemon(t)
+	n := d.list.Insert(0)
+	// samePhase == false: the reading must not enter the average.
+	d.find(n, domainCF, 99.0, n.CF.RB(), false)
+	if got := n.CF.Samples(n.CF.RB()); got != 0 {
+		t.Errorf("transition reading recorded: %d samples", got)
+	}
+	d.find(n, domainCF, 1.0, n.CF.RB(), true)
+	if got := n.CF.Samples(n.CF.RB()); got != 1 {
+		t.Errorf("steady reading dropped: %d samples", got)
+	}
+}
+
+func TestSeedCFBoundsFig6(t *testing.T) {
+	// Fig. 6(a): TIPI-3 exists with CFopt = B (level 1); a new, more
+	// compute-bound TIPI-1 inserted in front inherits CFLB = B.
+	d := newTestDaemon(t)
+	t3 := d.list.Insert(30)
+	t3.CF.SetOpt(1)
+	t1 := d.list.Insert(10)
+	d.seedCFBounds(t1)
+	if t1.CF.LB() != 1 || t1.CF.RB() != 6 {
+		t.Errorf("TIPI-1 bounds = [%d,%d], want [1,6]", t1.CF.LB(), t1.CF.RB())
+	}
+
+	// Fig. 6(b): TIPI-2 between them; TIPI-1 unresolved with RB = E (4):
+	// TIPI-2 gets CFLB from TIPI-3's opt and CFRB from TIPI-1's RB.
+	t1.CF.NarrowRB(4)
+	t2 := d.list.Insert(20)
+	d.seedCFBounds(t2)
+	if t2.CF.LB() != 1 || t2.CF.RB() != 4 {
+		t.Errorf("TIPI-2 bounds = [%d,%d], want [1,4]", t2.CF.LB(), t2.CF.RB())
+	}
+}
+
+func TestSeedUFBoundsFig7(t *testing.T) {
+	// Fig. 7(b): TIPI-1 (left) has UFopt = A-ish (level 0), TIPI-3 (right)
+	// has UFopt = C (2); a node between them explores UF within [0, 2].
+	d := newTestDaemon(t)
+	t1 := d.list.Insert(10)
+	t1.UF.SetOpt(0)
+	t3 := d.list.Insert(30)
+	t3.UF.SetOpt(2)
+	t2 := d.list.Insert(20)
+	d.seedUFBounds(t2)
+	if t2.UF.LB() != 0 || t2.UF.RB() != 2 {
+		t.Errorf("TIPI-2 UF bounds = [%d,%d], want [0,2]", t2.UF.LB(), t2.UF.RB())
+	}
+}
+
+func TestRevalidateCFFig8(t *testing.T) {
+	// Fig. 8(b): TIPI-3's CFRB drops to E (4); its right neighbour TIPI-4
+	// (more memory-bound) must see its CFRB drop to E too.
+	d := newTestDaemon(t)
+	t3 := d.list.Insert(10)
+	t4 := d.list.Insert(20)
+	t3.CF.NarrowRB(4)
+	d.revalidate(t3, domainCF)
+	if t4.CF.RB() != 4 {
+		t.Errorf("TIPI-4 CFRB = %d, want 4 (propagated)", t4.CF.RB())
+	}
+	// Fig. 8(a): a node resolving CFopt = E raises every left neighbour's
+	// CFLB to E.
+	t2 := d.list.Insert(5)
+	t3.CF.SetOpt(4)
+	d.revalidate(t3, domainCF)
+	if t2.CF.LB() != 4 {
+		t.Errorf("left neighbour CFLB = %d, want 4", t2.CF.LB())
+	}
+}
+
+func TestRevalidateUFFig9(t *testing.T) {
+	// Fig. 9(a): TIPI-5's UFRB drop propagates to the LEFT (compute-bound)
+	// neighbour.
+	d := newTestDaemon(t)
+	t4 := d.list.Insert(10)
+	t5 := d.list.Insert(20)
+	t5.UF.NarrowRB(4)
+	d.revalidate(t5, domainUF)
+	if t4.UF.RB() != 4 {
+		t.Errorf("TIPI-4 UFRB = %d, want 4", t4.UF.RB())
+	}
+	// Fig. 9(b): TIPI-4 resolves UFopt = E (4); TIPI-5's UFLB rises to E.
+	// TIPI-5's bounds were [?,4] from the propagation above, so its LB
+	// rising to 4 collapses and resolves UFopt = E as in the figure.
+	t4.UF.SetOpt(4)
+	d.revalidate(t4, domainUF)
+	if !t5.UF.HasOpt() || t5.UF.Opt() != 4 {
+		t.Errorf("TIPI-5 UFopt = %d (resolved %v), want 4", t5.UF.Opt(), t5.UF.HasOpt())
+	}
+}
+
+func TestRevalidateCascades(t *testing.T) {
+	// A resolution in the middle must reach non-adjacent nodes.
+	d := newTestDaemon(t)
+	a := d.list.Insert(1)
+	b := d.list.Insert(2)
+	c := d.list.Insert(3)
+	_ = b
+	c.CF.SetOpt(2)
+	d.revalidate(c, domainCF)
+	if a.CF.LB() != 2 {
+		t.Errorf("cascade failed: far-left CFLB = %d, want 2", a.CF.LB())
+	}
+}
+
+func TestEstimateUFRangeEndpoints(t *testing.T) {
+	cf, uf := freq.HaswellCore(), freq.HaswellUncore()
+	// CFopt = max → window hugs UFmin (compute-bound: slow uncore).
+	lb, rb := estimateUFRange(cf, uf, cf.MaxLevel())
+	if lb != 0 {
+		t.Errorf("CFopt=max: UFLB = %d, want 0", lb)
+	}
+	if rb < 4 || rb > 8 {
+		t.Errorf("CFopt=max: UFRB = %d, want a ≈6-level window above min", rb)
+	}
+	// CFopt = min → window hugs UFmax.
+	lb, rb = estimateUFRange(cf, uf, 0)
+	if rb != uf.MaxLevel() {
+		t.Errorf("CFopt=min: UFRB = %d, want %d", rb, uf.MaxLevel())
+	}
+	if lb < uf.MaxLevel()-8 || lb > uf.MaxLevel()-4 {
+		t.Errorf("CFopt=min: UFLB = %d, want a ≈6-level window below max", lb)
+	}
+}
+
+func TestEstimateUFRangeMidpointAndOrder(t *testing.T) {
+	cf, uf := freq.HaswellCore(), freq.HaswellUncore()
+	for opt := freq.Level(0); opt <= cf.MaxLevel(); opt++ {
+		lb, rb := estimateUFRange(cf, uf, opt)
+		if lb > rb {
+			t.Fatalf("CFopt=%d: inverted window [%d,%d]", opt, lb, rb)
+		}
+		if lb < 0 || rb > uf.MaxLevel() {
+			t.Fatalf("CFopt=%d: window [%d,%d] off grid", opt, lb, rb)
+		}
+	}
+	// Anti-correlation: higher CFopt gives a window no higher than lower
+	// CFopt's.
+	lbHi, _ := estimateUFRange(cf, uf, cf.MaxLevel())
+	lbLo, _ := estimateUFRange(cf, uf, 0)
+	if lbHi >= lbLo {
+		t.Errorf("window not anti-correlated: lb(CFmax)=%d, lb(CFmin)=%d", lbHi, lbLo)
+	}
+}

@@ -1,0 +1,115 @@
+// Package core is the Cuttlefish runtime itself: the online MSR profiler
+// (TIPI and JPI sampling, §3.1), the daemon loop of Algorithm 1, the
+// frequency exploration of Algorithm 2, the uncore range estimation of
+// Algorithm 3, and the neighbour-based range optimisations of §4.4 and
+// §4.5. It drives the machine exclusively through the msr-safe device —
+// the same access path the paper's C/C++ library uses.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/msr"
+)
+
+// Sample is one Tinv profiling interval: TIPI and JPI computed over the
+// whole processor, per §3.1. OK is false when no instructions retired in
+// the interval (the readings are then meaningless and must be discarded).
+type Sample struct {
+	TIPI   float64
+	JPI    float64
+	Instr  uint64
+	Tor    uint64
+	Joules float64
+	OK     bool
+}
+
+// Profiler computes TIPI and JPI deltas from the MSRs, in the style of
+// RCRtool [38]: per-core INST_RETIRED.ANY, the two TOR_INSERT aggregates,
+// and the RAPL package energy counter with 32-bit wraparound handling.
+type Profiler struct {
+	dev   *msr.Device
+	cores int
+	unitJ float64
+
+	lastInstr  uint64
+	lastTor    uint64
+	lastEnergy uint32
+	primed     bool
+}
+
+// NewProfiler creates a profiler over the msr-safe device, decoding the
+// RAPL energy unit from MSR_RAPL_POWER_UNIT.
+func NewProfiler(dev *msr.Device, cores int) (*Profiler, error) {
+	raw, err := dev.Read(msr.RaplPowerUnit, 0)
+	if err != nil {
+		return nil, fmt.Errorf("core: reading RAPL power unit: %w", err)
+	}
+	return &Profiler{dev: dev, cores: cores, unitJ: msr.EnergyUnitJoules(raw)}, nil
+}
+
+func (p *Profiler) readCounters() (instr, tor uint64, energy uint32, err error) {
+	for c := 0; c < p.cores; c++ {
+		v, err := p.dev.Read(msr.IA32FixedCtr0, c)
+		if err != nil {
+			return 0, 0, 0, fmt.Errorf("core: fixed counter core %d: %w", c, err)
+		}
+		instr += v
+	}
+	local, err := p.dev.Read(msr.TorInsertMissLocal, 0)
+	if err != nil {
+		return 0, 0, 0, fmt.Errorf("core: TOR local: %w", err)
+	}
+	remote, err := p.dev.Read(msr.TorInsertMissRemote, 0)
+	if err != nil {
+		return 0, 0, 0, fmt.Errorf("core: TOR remote: %w", err)
+	}
+	tor = local + remote
+	e, err := p.dev.Read(msr.PkgEnergyStatus, 0)
+	if err != nil {
+		return 0, 0, 0, fmt.Errorf("core: RAPL energy: %w", err)
+	}
+	return instr, tor, uint32(e), nil
+}
+
+// Reset re-primes the baseline; the daemon calls it when its warmup ends so
+// cold-start noise never reaches the classifier (§4.1).
+func (p *Profiler) Reset() error {
+	instr, tor, energy, err := p.readCounters()
+	if err != nil {
+		return err
+	}
+	p.lastInstr, p.lastTor, p.lastEnergy = instr, tor, energy
+	p.primed = true
+	return nil
+}
+
+// Sample returns the TIPI/JPI of the interval since the previous Sample (or
+// Reset). The first call after construction primes the baseline and
+// returns OK == false.
+func (p *Profiler) Sample() (Sample, error) {
+	instr, tor, energy, err := p.readCounters()
+	if err != nil {
+		return Sample{}, err
+	}
+	if !p.primed {
+		p.lastInstr, p.lastTor, p.lastEnergy = instr, tor, energy
+		p.primed = true
+		return Sample{}, nil
+	}
+	dInstr := instr - p.lastInstr
+	dTor := tor - p.lastTor
+	dJ := float64(energy-p.lastEnergy) * p.unitJ // uint32 wrap-safe
+	p.lastInstr, p.lastTor, p.lastEnergy = instr, tor, energy
+	if dInstr == 0 {
+		return Sample{Joules: dJ}, nil
+	}
+	return Sample{
+		TIPI:   float64(dTor) / float64(dInstr),
+		JPI:    dJ / float64(dInstr),
+		Instr:  dInstr,
+		Tor:    dTor,
+		Joules: dJ,
+		OK:     true,
+	}, nil
+}

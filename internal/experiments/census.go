@@ -1,0 +1,266 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/freq"
+	"repro/internal/governor"
+	"repro/internal/machine"
+	"repro/internal/msr"
+	"repro/internal/tipi"
+	"repro/internal/trace"
+)
+
+// FrequentShare is the paper's threshold: a TIPI slab is "frequently
+// occurring" when it covers more than 10% of the Tinv samples (§3.2).
+const FrequentShare = 0.10
+
+// sampleRun executes a benchmark while a profiler component records TIPI
+// and JPI every Tinv, the instrumentation behind Table 1 and Figs. 2–3.
+// cf/uf pin the frequencies; passing zero for either leaves it at the
+// Default environment's setting (performance governor / firmware Auto).
+func sampleRun(spec bench.Spec, opt Options, seed int64, cf, uf freq.Ratio) (*trace.Recorder, float64, error) {
+	mcfg := machine.DefaultConfig()
+	mcfg.Cores = opt.Cores
+	m, err := machine.New(mcfg)
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := governor.Apply(governor.Performance, m.Device(), mcfg.Cores, mcfg.CoreGrid); err != nil {
+		return nil, 0, err
+	}
+	if cf != 0 {
+		for c := 0; c < mcfg.Cores; c++ {
+			if err := m.Device().Write(msr.IA32PerfCtl, c, msr.PerfCtlRaw(uint8(cf))); err != nil {
+				return nil, 0, err
+			}
+		}
+	}
+	if uf != 0 {
+		if err := m.Device().Write(msr.UncoreRatioLimit, 0, msr.UncoreLimitRaw(uint8(uf), uint8(uf))); err != nil {
+			return nil, 0, err
+		}
+	} else {
+		m.SetFirmware(governor.DefaultAutoUFS())
+	}
+
+	prof, err := core.NewProfiler(m.Device(), mcfg.Cores)
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := prof.Reset(); err != nil {
+		return nil, 0, err
+	}
+	rec := &trace.Recorder{}
+	m.Schedule(&machine.Component{
+		Period: opt.TinvSec,
+		Tick: func(now float64) float64 {
+			s, err := prof.Sample()
+			if err != nil || !s.OK {
+				return 0
+			}
+			rec.Add(trace.Point{
+				Time: now, TIPI: s.TIPI, JPI: s.JPI,
+				Instr: s.Instr, Joules: s.Joules,
+				CF: m.CoreRatio(0), UF: m.UncoreRatio(),
+			})
+			return 0
+		},
+	}, opt.TinvSec)
+
+	src, err := spec.Build(bench.Params{Cores: mcfg.Cores, Scale: opt.Scale, Seed: seed, Model: opt.Model})
+	if err != nil {
+		return nil, 0, err
+	}
+	m.SetSource(src)
+	sec := m.Run(spec.PaperSeconds*opt.Scale*6 + 30)
+	if !m.Finished() {
+		return nil, 0, fmt.Errorf("experiments: %s sampling run did not finish", spec.Name)
+	}
+	return rec, sec, nil
+}
+
+// slabHistogram buckets samples into slabs.
+func slabHistogram(points []trace.Point) map[tipi.Slab]int {
+	h := make(map[tipi.Slab]int)
+	for _, p := range points {
+		h[tipi.SlabOf(p.TIPI, tipi.DefaultSlabWidth)]++
+	}
+	return h
+}
+
+// frequentSlabs returns the slabs above the FrequentShare threshold,
+// sorted ascending.
+func frequentSlabs(h map[tipi.Slab]int, total int) []tipi.Slab {
+	var out []tipi.Slab
+	for s, n := range h {
+		if float64(n) > FrequentShare*float64(total) {
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Table1Row is one line of the paper's benchmark census.
+type Table1Row struct {
+	Name     string
+	Style    bench.Style
+	Seconds  float64 // Default execution time
+	TIPIMin  float64
+	TIPIMax  float64
+	Distinct int // distinct TIPI slabs observed
+	Frequent int // slabs covering > 10% of samples
+}
+
+// Table1 regenerates the benchmark census under the Default environment.
+func Table1(opt Options) ([]Table1Row, error) {
+	specs := bench.All()
+	rows := make([]Table1Row, len(specs))
+	err := forEach(len(specs), opt.Workers, func(i int) error {
+		spec := specs[i]
+		rec, sec, err := sampleRun(spec, opt, opt.Seed, 0, 0)
+		if err != nil {
+			return err
+		}
+		pts := rec.Points()
+		if len(pts) == 0 {
+			return fmt.Errorf("experiments: %s produced no samples", spec.Name)
+		}
+		lo, hi := pts[0].TIPI, pts[0].TIPI
+		for _, p := range pts {
+			if p.TIPI < lo {
+				lo = p.TIPI
+			}
+			if p.TIPI > hi {
+				hi = p.TIPI
+			}
+		}
+		h := slabHistogram(pts)
+		rows[i] = Table1Row{
+			Name:     spec.Name,
+			Style:    spec.Style,
+			Seconds:  sec,
+			TIPIMin:  lo,
+			TIPIMax:  hi,
+			Distinct: len(h),
+			Frequent: len(frequentSlabs(h, len(pts))),
+		}
+		return nil
+	})
+	return rows, err
+}
+
+// Fig2Benchmarks are the six series the paper plots (variant behaviour is
+// reported as similar, §3.1).
+var Fig2Benchmarks = []string{"UTS", "SOR-irt", "Heat-irt", "MiniFE", "HPCCG", "AMG"}
+
+// Fig2 records the TIPI and JPI execution timelines with core and uncore
+// pinned at maximum, one recorder per benchmark.
+func Fig2(opt Options) (map[string]*trace.Recorder, error) {
+	out := make(map[string]*trace.Recorder, len(Fig2Benchmarks))
+	recs := make([]*trace.Recorder, len(Fig2Benchmarks))
+	err := forEach(len(Fig2Benchmarks), opt.Workers, func(i int) error {
+		spec, ok := bench.Get(Fig2Benchmarks[i])
+		if !ok {
+			return fmt.Errorf("experiments: unknown benchmark %q", Fig2Benchmarks[i])
+		}
+		rec, _, err := sampleRun(spec, opt, opt.Seed, spec22CF(), spec22UF())
+		recs[i] = rec
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, n := range Fig2Benchmarks {
+		out[n] = recs[i]
+	}
+	return out, nil
+}
+
+// spec22CF/UF pin the Fig. 2 methodology's "maximum" settings.
+func spec22CF() freq.Ratio { return freq.HaswellCore().Max }
+func spec22UF() freq.Ratio { return freq.HaswellUncore().Max }
+
+// Fig3Point is the average JPI of one frequently occurring TIPI slab at one
+// frequency setting.
+type Fig3Point struct {
+	Bench    string
+	Setting  freq.Ratio // the swept frequency (CF for 3a, UF for 3b)
+	Slab     tipi.Slab
+	SharePct float64
+	JPI      float64
+}
+
+// fig3Sweep runs the six benchmarks at each setting and averages JPI over
+// the frequent slabs, exactly the Fig. 3 construction (§3.2).
+func fig3Sweep(opt Options, settings []freq.Ratio, sweepCF bool) ([]Fig3Point, error) {
+	type job struct {
+		bench   int
+		setting freq.Ratio
+	}
+	var jobs []job
+	for b := range Fig2Benchmarks {
+		for _, s := range settings {
+			jobs = append(jobs, job{bench: b, setting: s})
+		}
+	}
+	points := make([][]Fig3Point, len(jobs))
+	err := forEach(len(jobs), opt.Workers, func(i int) error {
+		j := jobs[i]
+		spec, ok := bench.Get(Fig2Benchmarks[j.bench])
+		if !ok {
+			return fmt.Errorf("experiments: unknown benchmark %q", Fig2Benchmarks[j.bench])
+		}
+		cf, uf := spec22CF(), spec22UF()
+		if sweepCF {
+			cf = j.setting
+		} else {
+			uf = j.setting
+		}
+		rec, _, err := sampleRun(spec, opt, opt.Seed, cf, uf)
+		if err != nil {
+			return err
+		}
+		pts := rec.Points()
+		h := slabHistogram(pts)
+		for _, slab := range frequentSlabs(h, len(pts)) {
+			sum, n := 0.0, 0
+			for _, p := range pts {
+				if tipi.SlabOf(p.TIPI, tipi.DefaultSlabWidth) == slab {
+					sum += p.JPI
+					n++
+				}
+			}
+			points[i] = append(points[i], Fig3Point{
+				Bench:    spec.Name,
+				Setting:  j.setting,
+				Slab:     slab,
+				SharePct: 100 * float64(h[slab]) / float64(len(pts)),
+				JPI:      sum / float64(n),
+			})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []Fig3Point
+	for _, p := range points {
+		out = append(out, p...)
+	}
+	return out, nil
+}
+
+// Fig3a sweeps core frequency {min, mid, max} with the uncore at max.
+func Fig3a(opt Options) ([]Fig3Point, error) {
+	return fig3Sweep(opt, []freq.Ratio{12, 18, 23}, true)
+}
+
+// Fig3b sweeps uncore frequency {min, mid, max} with cores at max.
+func Fig3b(opt Options) ([]Fig3Point, error) {
+	return fig3Sweep(opt, []freq.Ratio{12, 21, 30}, false)
+}

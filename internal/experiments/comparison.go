@@ -1,0 +1,210 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/bench"
+	"repro/internal/stats"
+)
+
+// Cell is a mean with a 95% confidence half-width over repetitions.
+type Cell struct {
+	Mean float64
+	CI   float64
+}
+
+// CompareRow is one benchmark's comparison against Default, in percent:
+// positive energy/EDP savings are improvements, positive slowdown is lost
+// time — the quantities on the y-axes of Figs. 10 and 11.
+type CompareRow struct {
+	Bench         string
+	EnergySavings map[PolicyName]Cell
+	Slowdown      map[PolicyName]Cell
+	EDPSavings    map[PolicyName]Cell
+}
+
+// Comparison is a full Fig. 10/11-style result.
+type Comparison struct {
+	Model bench.Model
+	Rows  []CompareRow
+	// Geomean aggregates match the paper's headline numbers: geometric
+	// mean of the per-benchmark ratios, expressed as percentages.
+	GeoEnergySavings map[PolicyName]float64
+	GeoSlowdown      map[PolicyName]float64
+	GeoEDPSavings    map[PolicyName]float64
+}
+
+// runKey addresses one simulation inside the flattened comparison matrix.
+type runKey struct {
+	bench  int
+	policy PolicyName
+	rep    int
+}
+
+// Compare evaluates the three Cuttlefish policies against Default over the
+// given benchmarks. Repetition r of every policy shares a seed with
+// repetition r of Default, so ratios compare like with like.
+func Compare(names []string, opt Options) (Comparison, error) {
+	specs := make([]bench.Spec, len(names))
+	for i, n := range names {
+		s, ok := bench.Get(n)
+		if !ok {
+			return Comparison{}, fmt.Errorf("experiments: unknown benchmark %q", n)
+		}
+		specs[i] = s
+	}
+	policies := append([]PolicyName{Default}, CuttlefishPolicies...)
+	var keys []runKey
+	for b := range specs {
+		for _, p := range policies {
+			for r := 0; r < opt.Reps; r++ {
+				keys = append(keys, runKey{bench: b, policy: p, rep: r})
+			}
+		}
+	}
+	results := make(map[runKey]RunResult, len(keys))
+	var mu sync.Mutex
+	err := forEach(len(keys), opt.Workers, func(i int) error {
+		k := keys[i]
+		res, err := RunOne(specs[k.bench], k.policy, opt, opt.Seed+int64(k.rep))
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		results[k] = res
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return Comparison{}, err
+	}
+
+	cmp := Comparison{
+		Model:            opt.Model,
+		GeoEnergySavings: map[PolicyName]float64{},
+		GeoSlowdown:      map[PolicyName]float64{},
+		GeoEDPSavings:    map[PolicyName]float64{},
+	}
+	// Per-benchmark cells plus ratio collection for the geomeans.
+	ratioE := map[PolicyName][]float64{}
+	ratioT := map[PolicyName][]float64{}
+	ratioD := map[PolicyName][]float64{}
+	for b, spec := range specs {
+		row := CompareRow{
+			Bench:         spec.Name,
+			EnergySavings: map[PolicyName]Cell{},
+			Slowdown:      map[PolicyName]Cell{},
+			EDPSavings:    map[PolicyName]Cell{},
+		}
+		for _, p := range CuttlefishPolicies {
+			var es, sl, ed, re, rt, rd []float64
+			for r := 0; r < opt.Reps; r++ {
+				def := results[runKey{bench: b, policy: Default, rep: r}]
+				cf := results[runKey{bench: b, policy: p, rep: r}]
+				es = append(es, stats.SavingsPercent(def.Joules, cf.Joules))
+				sl = append(sl, stats.SlowdownPercent(def.Seconds, cf.Seconds))
+				ed = append(ed, stats.SavingsPercent(def.EDP, cf.EDP))
+				re = append(re, cf.Joules/def.Joules)
+				rt = append(rt, cf.Seconds/def.Seconds)
+				rd = append(rd, cf.EDP/def.EDP)
+			}
+			row.EnergySavings[p] = Cell{Mean: stats.Mean(es), CI: stats.CI95(es)}
+			row.Slowdown[p] = Cell{Mean: stats.Mean(sl), CI: stats.CI95(sl)}
+			row.EDPSavings[p] = Cell{Mean: stats.Mean(ed), CI: stats.CI95(ed)}
+			ratioE[p] = append(ratioE[p], stats.Mean(re))
+			ratioT[p] = append(ratioT[p], stats.Mean(rt))
+			ratioD[p] = append(ratioD[p], stats.Mean(rd))
+		}
+		cmp.Rows = append(cmp.Rows, row)
+	}
+	for _, p := range CuttlefishPolicies {
+		cmp.GeoEnergySavings[p] = 100 * (1 - stats.GeoMean(ratioE[p]))
+		cmp.GeoSlowdown[p] = 100 * (stats.GeoMean(ratioT[p]) - 1)
+		cmp.GeoEDPSavings[p] = 100 * (1 - stats.GeoMean(ratioD[p]))
+	}
+	return cmp, nil
+}
+
+// Fig10 reproduces the OpenMP evaluation over all ten benchmarks.
+func Fig10(opt Options) (Comparison, error) {
+	opt.Model = bench.OpenMP
+	return Compare(bench.Names(), opt)
+}
+
+// Fig11 reproduces the HClib evaluation over the six SOR/Heat variants.
+func Fig11(opt Options) (Comparison, error) {
+	opt.Model = bench.HClib
+	return Compare(bench.HClibNames(), opt)
+}
+
+// Table3Row is one Tinv setting's geomean outcome.
+type Table3Row struct {
+	TinvSec       float64
+	EnergySavings float64
+	Slowdown      float64
+}
+
+// Table3 reproduces the Tinv sensitivity study: geomean energy savings and
+// slowdown of full Cuttlefish across the OpenMP benchmarks at each Tinv.
+func Table3(opt Options, tinvs []float64) ([]Table3Row, error) {
+	if len(tinvs) == 0 {
+		tinvs = []float64{10e-3, 20e-3, 40e-3, 60e-3}
+	}
+	names := bench.Names()
+	specs := make([]bench.Spec, len(names))
+	for i, n := range names {
+		specs[i], _ = bench.Get(n)
+	}
+
+	// Defaults are Tinv-independent; run them once.
+	defaults := make([]RunResult, len(specs)*opt.Reps)
+	err := forEach(len(defaults), opt.Workers, func(i int) error {
+		b, r := i/opt.Reps, i%opt.Reps
+		res, err := RunOne(specs[b], Default, opt, opt.Seed+int64(r))
+		if err != nil {
+			return err
+		}
+		defaults[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	rows := make([]Table3Row, len(tinvs))
+	for ti, tinv := range tinvs {
+		o := opt
+		o.TinvSec = tinv
+		runs := make([]RunResult, len(specs)*opt.Reps)
+		err := forEach(len(runs), opt.Workers, func(i int) error {
+			b, r := i/opt.Reps, i%opt.Reps
+			res, err := RunOne(specs[b], Cuttlefish, o, opt.Seed+int64(r))
+			if err != nil {
+				return err
+			}
+			runs[i] = res
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		var ratioE, ratioT []float64
+		for b := range specs {
+			var re, rt []float64
+			for r := 0; r < opt.Reps; r++ {
+				i := b*opt.Reps + r
+				re = append(re, runs[i].Joules/defaults[i].Joules)
+				rt = append(rt, runs[i].Seconds/defaults[i].Seconds)
+			}
+			ratioE = append(ratioE, stats.Mean(re))
+			ratioT = append(ratioT, stats.Mean(rt))
+		}
+		rows[ti] = Table3Row{
+			TinvSec:       tinv,
+			EnergySavings: 100 * (1 - stats.GeoMean(ratioE)),
+			Slowdown:      100 * (stats.GeoMean(ratioT) - 1),
+		}
+	}
+	return rows, nil
+}

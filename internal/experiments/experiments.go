@@ -1,0 +1,186 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation: the Table 1 benchmark census, the Fig. 2 TIPI/JPI timelines,
+// the Fig. 3 fixed-frequency JPI sweeps, the Fig. 10 (OpenMP) and Fig. 11
+// (HClib) policy comparisons, the Table 2 frequency-settings report and the
+// Table 3 Tinv sensitivity study.
+//
+// Absolute joules and seconds are simulator outputs; the contract is shape
+// fidelity (see EXPERIMENTS.md for the paper-vs-measured record).
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/governor"
+	"repro/internal/machine"
+	"repro/internal/stats"
+)
+
+// PolicyName identifies an execution environment.
+type PolicyName string
+
+const (
+	// Default is the paper's baseline: performance governor, firmware Auto
+	// uncore.
+	Default PolicyName = "default"
+	// Cuttlefish adapts both domains; CoreOnly and UncoreOnly are the §5
+	// build variants.
+	Cuttlefish PolicyName = "cuttlefish"
+	CoreOnly   PolicyName = "cuttlefish-core"
+	UncoreOnly PolicyName = "cuttlefish-uncore"
+)
+
+// CuttlefishPolicies are the three library variants compared against
+// Default throughout §5.
+var CuttlefishPolicies = []PolicyName{Cuttlefish, CoreOnly, UncoreOnly}
+
+func (p PolicyName) daemonPolicy() (core.Policy, bool) {
+	switch p {
+	case Cuttlefish:
+		return core.PolicyBoth, true
+	case CoreOnly:
+		return core.PolicyCoreOnly, true
+	case UncoreOnly:
+		return core.PolicyUncoreOnly, true
+	default:
+		return 0, false
+	}
+}
+
+// Options configure an experiment run.
+type Options struct {
+	// Cores is the simulated core count (paper: 20).
+	Cores int
+	// Scale shrinks the paper's 60–80 s benchmark runs proportionally.
+	// 1.0 reproduces paper-length runs; the default keeps CI fast while
+	// leaving runs long enough (≈20 s) for exploration to amortise.
+	Scale float64
+	// Reps is the number of repetitions per point (paper: 10).
+	Reps int
+	// Seed is the base RNG seed; repetition r uses Seed+r.
+	Seed int64
+	// TinvSec is the daemon profiling interval.
+	TinvSec float64
+	// WarmupSec is the daemon warmup (§4.1).
+	WarmupSec float64
+	// Model selects the parallel runtime for benchmarks that support both.
+	Model bench.Model
+	// Workers bounds concurrent simulations; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// DefaultOptions returns a configuration that finishes the full evaluation
+// in minutes on a laptop while preserving the paper's shapes.
+func DefaultOptions() Options {
+	return Options{
+		Cores:     20,
+		Scale:     0.30,
+		Reps:      5,
+		Seed:      1,
+		TinvSec:   20e-3,
+		WarmupSec: 2.0,
+		Model:     bench.OpenMP,
+	}
+}
+
+// RunResult is one benchmark execution.
+type RunResult struct {
+	Policy  PolicyName
+	Seconds float64
+	Joules  float64
+	EDP     float64
+	// AvgUncoreGHz is the run's time-weighted uncore frequency.
+	AvgUncoreGHz float64
+	// Daemon carries the slab list for Cuttlefish runs (nil for Default).
+	Daemon *core.Daemon
+}
+
+// RunOne executes one benchmark under one policy.
+func RunOne(spec bench.Spec, policy PolicyName, opt Options, seed int64) (RunResult, error) {
+	cfg := machine.DefaultConfig()
+	cfg.Cores = opt.Cores
+	m, err := machine.New(cfg)
+	if err != nil {
+		return RunResult{}, err
+	}
+	var daemon *core.Daemon
+	if dp, isCuttlefish := policy.daemonPolicy(); isCuttlefish {
+		dcfg := core.DefaultConfig()
+		dcfg.Policy = dp
+		if opt.TinvSec > 0 {
+			dcfg.TinvSec = opt.TinvSec
+		}
+		dcfg.WarmupSec = opt.WarmupSec
+		daemon, err = core.NewDaemon(dcfg, m.Device(), cfg.Cores, cfg.CoreGrid, cfg.UncoreGrid, m.Now())
+		if err != nil {
+			return RunResult{}, err
+		}
+		m.Schedule(&machine.Component{Period: dcfg.TinvSec, Core: dcfg.PinnedCore, Tick: daemon.Tick}, m.Now()+dcfg.TinvSec)
+	} else {
+		if err := governor.Apply(governor.Performance, m.Device(), cfg.Cores, cfg.CoreGrid); err != nil {
+			return RunResult{}, err
+		}
+		m.SetFirmware(governor.DefaultAutoUFS())
+	}
+	src, err := spec.Build(bench.Params{Cores: cfg.Cores, Scale: opt.Scale, Seed: seed, Model: opt.Model})
+	if err != nil {
+		return RunResult{}, err
+	}
+	m.SetSource(src)
+	maxSim := spec.PaperSeconds*opt.Scale*6 + opt.WarmupSec + 30
+	sec := m.Run(maxSim)
+	if !m.Finished() {
+		return RunResult{}, fmt.Errorf("experiments: %s/%s did not finish in %.0f simulated seconds", spec.Name, policy, maxSim)
+	}
+	if daemon != nil {
+		daemon.Stop()
+		if err := daemon.Err(); err != nil {
+			return RunResult{}, err
+		}
+	}
+	j := m.TotalEnergy()
+	return RunResult{
+		Policy:       policy,
+		Seconds:      sec,
+		Joules:       j,
+		EDP:          stats.EDP(j, sec),
+		AvgUncoreGHz: m.AvgUncoreGHz(),
+		Daemon:       daemon,
+	}, nil
+}
+
+// forEach runs fn for indexes 0..n-1 on a bounded worker pool and returns
+// the first error.
+func forEach(n, workers int, fn func(i int) error) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	errs := make(chan error, n)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if err := fn(i); err != nil {
+					errs <- err
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	close(errs)
+	return <-errs
+}

@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/bench"
+	"repro/internal/freq"
+	"repro/internal/machine"
+	"repro/internal/msr"
+)
+
+// SweepPoint is one fixed (CF, UF) execution of a benchmark.
+type SweepPoint struct {
+	CF      freq.Ratio
+	UF      freq.Ratio
+	Seconds float64
+	Joules  float64
+	EDP     float64
+	JPI     float64
+}
+
+// Sweep runs a benchmark at every grid point (subsampled by the given
+// strides) with frequencies pinned — the exhaustive oracle the online
+// exploration is judged against. stride 2 covers the Haswell grids in 60
+// runs.
+func Sweep(name string, opt Options, cfStride, ufStride int) ([]SweepPoint, error) {
+	spec, ok := bench.Get(name)
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown benchmark %q", name)
+	}
+	if cfStride <= 0 {
+		cfStride = 1
+	}
+	if ufStride <= 0 {
+		ufStride = 1
+	}
+	mcfg := machine.DefaultConfig()
+	var grid []SweepPoint
+	for cf := mcfg.CoreGrid.Min; cf <= mcfg.CoreGrid.Max; cf += freq.Ratio(cfStride) {
+		for uf := mcfg.UncoreGrid.Min; uf <= mcfg.UncoreGrid.Max; uf += freq.Ratio(ufStride) {
+			grid = append(grid, SweepPoint{CF: cf, UF: uf})
+		}
+	}
+	err := forEach(len(grid), opt.Workers, func(i int) error {
+		p := &grid[i]
+		mcfg := machine.DefaultConfig()
+		mcfg.Cores = opt.Cores
+		m, err := machine.New(mcfg)
+		if err != nil {
+			return err
+		}
+		for c := 0; c < mcfg.Cores; c++ {
+			if err := m.Device().Write(msr.IA32PerfCtl, c, msr.PerfCtlRaw(uint8(p.CF))); err != nil {
+				return err
+			}
+		}
+		if err := m.Device().Write(msr.UncoreRatioLimit, 0, msr.UncoreLimitRaw(uint8(p.UF), uint8(p.UF))); err != nil {
+			return err
+		}
+		src, err := spec.Build(bench.Params{Cores: mcfg.Cores, Scale: opt.Scale, Seed: opt.Seed, Model: opt.Model})
+		if err != nil {
+			return err
+		}
+		m.SetSource(src)
+		p.Seconds = m.Run(spec.PaperSeconds*opt.Scale*10 + 30)
+		if !m.Finished() {
+			return fmt.Errorf("experiments: %s sweep point %v/%v did not finish", name, p.CF, p.UF)
+		}
+		p.Joules = m.TotalEnergy()
+		p.EDP = p.Joules * p.Seconds
+		p.JPI = p.Joules / m.TotalInstructions()
+		return nil
+	})
+	return grid, err
+}
+
+// OracleResult compares the daemon's end-state frequencies against the
+// sweep's best grid point.
+type OracleResult struct {
+	Bench string
+	// BestJPI is the grid point with the lowest JPI (the quantity the
+	// daemon optimises per slab).
+	BestJPI SweepPoint
+	// Chosen is the sweep point at the daemon's dominant-slab optima.
+	Chosen SweepPoint
+	// GapPct is how much higher the chosen point's JPI is than the best.
+	GapPct float64
+}
+
+// Oracle runs full Cuttlefish once, sweeps the grid at the same scale, and
+// reports the JPI gap between the daemon's dominant-slab choice and the
+// exhaustive optimum.
+func Oracle(name string, opt Options, cfStride, ufStride int) (OracleResult, error) {
+	spec, ok := bench.Get(name)
+	if !ok {
+		return OracleResult{}, fmt.Errorf("experiments: unknown benchmark %q", name)
+	}
+	res, err := RunOne(spec, Cuttlefish, opt, opt.Seed)
+	if err != nil {
+		return OracleResult{}, err
+	}
+	var cfOpt, ufOpt freq.Ratio
+	bestHits := 0
+	for _, n := range res.Daemon.List().Nodes() {
+		if n.Hits > bestHits && n.CF.HasOpt() && n.UF.HasOpt() {
+			bestHits = n.Hits
+			cfOpt, ufOpt = n.CF.OptRatio(), n.UF.OptRatio()
+		}
+	}
+	if bestHits == 0 {
+		return OracleResult{}, fmt.Errorf("experiments: %s resolved no slab to compare", name)
+	}
+	grid, err := Sweep(name, opt, cfStride, ufStride)
+	if err != nil {
+		return OracleResult{}, err
+	}
+	out := OracleResult{Bench: name}
+	var haveChosen bool
+	for _, p := range grid {
+		if p.Seconds <= 0 {
+			continue
+		}
+		if out.BestJPI.Seconds == 0 || p.JPI < out.BestJPI.JPI {
+			out.BestJPI = p
+		}
+		if p.CF == cfOpt && p.UF == ufOpt {
+			out.Chosen = p
+			haveChosen = true
+		}
+	}
+	if !haveChosen {
+		// The daemon's choice fell between sweep strides; rerun that exact
+		// point.
+		exact, err := Sweep(name, opt, 1, 1)
+		if err != nil {
+			return OracleResult{}, err
+		}
+		for _, p := range exact {
+			if p.JPI < out.BestJPI.JPI {
+				out.BestJPI = p
+			}
+			if p.CF == cfOpt && p.UF == ufOpt {
+				out.Chosen = p
+				haveChosen = true
+			}
+		}
+		if !haveChosen {
+			return OracleResult{}, fmt.Errorf("experiments: daemon chose off-grid point %v/%v", cfOpt, ufOpt)
+		}
+	}
+	out.GapPct = 100 * (out.Chosen.JPI/out.BestJPI.JPI - 1)
+	return out, nil
+}

@@ -1,0 +1,119 @@
+// Package freq models the discrete frequency domains of an Intel-style
+// multicore processor: a per-core DVFS grid and a socket-wide uncore (UFS)
+// grid. Frequencies are held as exact integer ratios of a 100 MHz reference
+// clock, matching how IA32_PERF_CTL and the uncore ratio-limit MSR (0x620)
+// encode them, so grid arithmetic is never subject to float drift.
+package freq
+
+import (
+	"fmt"
+	"math"
+)
+
+// RefClockHz is the reference clock against which frequency ratios are
+// expressed. Intel client and server parts use a 100 MHz BCLK.
+const RefClockHz = 100e6
+
+// GHz converts a frequency in hertz to gigahertz.
+func GHz(hz float64) float64 { return hz / 1e9 }
+
+// Ratio is a multiplier of RefClockHz. Ratio 12 == 1.2 GHz, ratio 30 == 3.0 GHz.
+type Ratio uint8
+
+// Hz returns the frequency the ratio encodes, in hertz.
+func (r Ratio) Hz() float64 { return float64(r) * RefClockHz }
+
+// GHz returns the frequency the ratio encodes, in gigahertz.
+func (r Ratio) GHz() float64 { return float64(r) / 10 }
+
+// String renders the ratio as a frequency, e.g. "2.3GHz".
+func (r Ratio) String() string { return fmt.Sprintf("%.1fGHz", r.GHz()) }
+
+// RatioFromGHz returns the ratio closest to the given frequency in GHz.
+func RatioFromGHz(ghz float64) Ratio {
+	return Ratio(math.Round(ghz * 10))
+}
+
+// Level indexes a frequency inside a Grid, 0 being the lowest frequency.
+// The paper's hypothetical processor labels levels A (lowest) through G
+// (highest); Level 0 is "A".
+type Level int
+
+// Grid is an inclusive range of ratios [Min, Max] in steps of one ratio
+// (0.1 GHz), the step size of both DVFS and UFS on the paper's Haswell.
+type Grid struct {
+	Min Ratio
+	Max Ratio
+}
+
+// HaswellCore is the core-frequency (DVFS) grid of the Intel Xeon E5-2650 v3
+// used in the paper: 1.2–2.3 GHz.
+func HaswellCore() Grid { return Grid{Min: 12, Max: 23} }
+
+// HaswellUncore is the uncore-frequency (UFS) grid of the same part:
+// 1.2–3.0 GHz.
+func HaswellUncore() Grid { return Grid{Min: 12, Max: 30} }
+
+// Levels returns the number of distinct frequencies in the grid.
+func (g Grid) Levels() int { return int(g.Max-g.Min) + 1 }
+
+// Valid reports whether the grid is well formed.
+func (g Grid) Valid() bool { return g.Min > 0 && g.Max >= g.Min }
+
+// Contains reports whether ratio r lies on the grid.
+func (g Grid) Contains(r Ratio) bool { return r >= g.Min && r <= g.Max }
+
+// Clamp returns r restricted to the grid.
+func (g Grid) Clamp(r Ratio) Ratio {
+	if r < g.Min {
+		return g.Min
+	}
+	if r > g.Max {
+		return g.Max
+	}
+	return r
+}
+
+// Ratio returns the ratio at level l. It panics if l is out of range, which
+// always indicates a programming error in exploration logic.
+func (g Grid) Ratio(l Level) Ratio {
+	if l < 0 || int(l) >= g.Levels() {
+		panic(fmt.Sprintf("freq: level %d outside grid %v..%v", l, g.Min, g.Max))
+	}
+	return g.Min + Ratio(l)
+}
+
+// Level returns the level of ratio r on the grid. It panics if r is off-grid.
+func (g Grid) Level(r Ratio) Level {
+	if !g.Contains(r) {
+		panic(fmt.Sprintf("freq: ratio %v outside grid %v..%v", r, g.Min, g.Max))
+	}
+	return Level(r - g.Min)
+}
+
+// MaxLevel returns the highest level of the grid.
+func (g Grid) MaxLevel() Level { return Level(g.Levels() - 1) }
+
+// StepDown returns the level n steps below l, clamped to the bottom of the
+// grid. The Cuttlefish explorer walks the grid highest→lowest in steps of
+// two (§4.3).
+func (g Grid) StepDown(l Level, n int) Level {
+	l -= Level(n)
+	if l < 0 {
+		l = 0
+	}
+	return l
+}
+
+// Ratios returns all ratios on the grid, lowest first.
+func (g Grid) Ratios() []Ratio {
+	out := make([]Ratio, g.Levels())
+	for i := range out {
+		out[i] = g.Min + Ratio(i)
+	}
+	return out
+}
+
+func (g Grid) String() string {
+	return fmt.Sprintf("[%v..%v]", g.Min, g.Max)
+}

@@ -1,0 +1,136 @@
+package freq
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRatioHz(t *testing.T) {
+	if got := Ratio(23).Hz(); got != 2.3e9 {
+		t.Errorf("Ratio(23).Hz() = %g, want 2.3e9", got)
+	}
+	if got := Ratio(12).GHz(); got != 1.2 {
+		t.Errorf("Ratio(12).GHz() = %g, want 1.2", got)
+	}
+}
+
+func TestRatioString(t *testing.T) {
+	if got := Ratio(30).String(); got != "3.0GHz" {
+		t.Errorf("String() = %q, want 3.0GHz", got)
+	}
+}
+
+func TestRatioFromGHz(t *testing.T) {
+	cases := []struct {
+		ghz  float64
+		want Ratio
+	}{
+		{1.2, 12}, {2.3, 23}, {3.0, 30}, {2.25, 23}, {1.24, 12},
+	}
+	for _, c := range cases {
+		if got := RatioFromGHz(c.ghz); got != c.want {
+			t.Errorf("RatioFromGHz(%g) = %v, want %v", c.ghz, got, c.want)
+		}
+	}
+}
+
+func TestHaswellGrids(t *testing.T) {
+	core, unc := HaswellCore(), HaswellUncore()
+	if core.Levels() != 12 {
+		t.Errorf("core levels = %d, want 12 (1.2..2.3 in 0.1 steps)", core.Levels())
+	}
+	if unc.Levels() != 19 {
+		t.Errorf("uncore levels = %d, want 19 (1.2..3.0 in 0.1 steps)", unc.Levels())
+	}
+	if !core.Valid() || !unc.Valid() {
+		t.Error("paper grids must be valid")
+	}
+}
+
+func TestGridLevelRoundTrip(t *testing.T) {
+	g := HaswellUncore()
+	for _, r := range g.Ratios() {
+		if got := g.Ratio(g.Level(r)); got != r {
+			t.Errorf("round trip %v -> %v", r, got)
+		}
+	}
+}
+
+func TestGridClamp(t *testing.T) {
+	g := HaswellCore()
+	if got := g.Clamp(5); got != g.Min {
+		t.Errorf("Clamp(5) = %v, want %v", got, g.Min)
+	}
+	if got := g.Clamp(40); got != g.Max {
+		t.Errorf("Clamp(40) = %v, want %v", got, g.Max)
+	}
+	if got := g.Clamp(18); got != 18 {
+		t.Errorf("Clamp(18) = %v, want 18", got)
+	}
+}
+
+func TestGridStepDown(t *testing.T) {
+	g := HaswellCore()
+	top := g.MaxLevel()
+	if got := g.StepDown(top, 2); got != top-2 {
+		t.Errorf("StepDown(top,2) = %d, want %d", got, top-2)
+	}
+	if got := g.StepDown(1, 2); got != 0 {
+		t.Errorf("StepDown(1,2) = %d, want clamp to 0", got)
+	}
+}
+
+func TestGridContains(t *testing.T) {
+	g := HaswellCore()
+	if g.Contains(11) || g.Contains(24) {
+		t.Error("contains should reject off-grid ratios")
+	}
+	if !g.Contains(12) || !g.Contains(23) {
+		t.Error("contains should accept grid endpoints")
+	}
+}
+
+func TestGridRatioPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Ratio(level out of range) should panic")
+		}
+	}()
+	HaswellCore().Ratio(99)
+}
+
+func TestGridLevelPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Level(off-grid ratio) should panic")
+		}
+	}()
+	HaswellCore().Level(50)
+}
+
+// Property: clamping always lands on the grid, and clamped values survive a
+// level round trip.
+func TestClampPropertyQuick(t *testing.T) {
+	g := HaswellUncore()
+	f := func(r uint8) bool {
+		c := g.Clamp(Ratio(r))
+		return g.Contains(c) && g.Ratio(g.Level(c)) == c
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: StepDown never leaves the grid and never increases the level.
+func TestStepDownPropertyQuick(t *testing.T) {
+	g := HaswellUncore()
+	f := func(lRaw, nRaw uint8) bool {
+		l := Level(int(lRaw) % g.Levels())
+		n := int(nRaw) % 5
+		got := g.StepDown(l, n)
+		return got >= 0 && got <= l
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,94 @@
+// Package governor reproduces the frequency-control environment of the
+// paper's Default execution: the Linux "performance" CPU governor that pins
+// every core at the maximum DVFS ratio, and the Intel firmware's "Auto"
+// uncore scaling, which the paper observes parking a quiet uncore near
+// 2.2 GHz and raising it to 3.0 GHz under memory pressure (Table 2,
+// "highly sensitive to memory requests").
+//
+// Cuttlefish runs instead under the "userspace" governor: the library owns
+// both knobs, writing IA32_PERF_CTL per core and pinning MSR 0x620.
+package governor
+
+import (
+	"fmt"
+
+	"repro/internal/freq"
+	"repro/internal/msr"
+)
+
+// Policy names the CPU frequency governor in force.
+type Policy string
+
+const (
+	// Performance pins all cores at the maximum ratio (Default runs).
+	Performance Policy = "performance"
+	// Userspace leaves frequency selection to software (Cuttlefish runs).
+	Userspace Policy = "userspace"
+)
+
+// Apply sets up the core-frequency governor through the msr-safe device.
+// Performance writes CFmax to every core's PERF_CTL; Userspace leaves the
+// registers for the owning library.
+func Apply(p Policy, dev *msr.Device, cores int, grid freq.Grid) error {
+	switch p {
+	case Performance:
+		for c := 0; c < cores; c++ {
+			if err := dev.Write(msr.IA32PerfCtl, c, msr.PerfCtlRaw(uint8(grid.Max))); err != nil {
+				return fmt.Errorf("governor: core %d: %w", c, err)
+			}
+		}
+		return nil
+	case Userspace:
+		return nil
+	default:
+		return fmt.Errorf("governor: unknown policy %q", p)
+	}
+}
+
+// AutoUFS is the firmware uncore governor active when BIOS UFS is "Auto"
+// and MSR 0x620 leaves a range: it holds a quiet-system operating point and
+// ramps toward max as smoothed LLC-miss demand crosses its thresholds.
+type AutoUFS struct {
+	// QuietRatio is the operating point under light memory traffic; the
+	// paper measures 2.2 GHz on its Haswell.
+	QuietRatio freq.Ratio
+	// BusyRatio is the operating point under heavy traffic (3.0 GHz).
+	BusyRatio freq.Ratio
+	// DemandLow and DemandHigh (misses/second) bound the ramp between the
+	// two operating points.
+	DemandLow, DemandHigh float64
+}
+
+// DefaultAutoUFS is calibrated against Table 2's Default column: 2.2 GHz
+// for the compute-bound benchmarks (UTS ≈0.1e9, SOR ≈0.6e9 misses/s) and
+// 3.0 GHz for the memory-bound set (≥1e9 misses/s).
+func DefaultAutoUFS() *AutoUFS {
+	return &AutoUFS{
+		QuietRatio: 22,
+		BusyRatio:  30,
+		DemandLow:  0.70e9,
+		DemandHigh: 1.00e9,
+	}
+}
+
+// Target implements machine.UncoreFirmware.
+func (a *AutoUFS) Target(demand float64, min, max freq.Ratio) freq.Ratio {
+	var t freq.Ratio
+	switch {
+	case demand <= a.DemandLow:
+		t = a.QuietRatio
+	case demand >= a.DemandHigh:
+		t = a.BusyRatio
+	default:
+		span := float64(a.BusyRatio - a.QuietRatio)
+		frac := (demand - a.DemandLow) / (a.DemandHigh - a.DemandLow)
+		t = a.QuietRatio + freq.Ratio(frac*span+0.5)
+	}
+	if t < min {
+		t = min
+	}
+	if t > max {
+		t = max
+	}
+	return t
+}

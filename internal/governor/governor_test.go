@@ -1,0 +1,87 @@
+package governor
+
+import (
+	"testing"
+
+	"repro/internal/freq"
+	"repro/internal/machine"
+	"repro/internal/msr"
+)
+
+func TestApplyPerformancePinsMax(t *testing.T) {
+	cfg := machine.DefaultConfig()
+	cfg.Cores = 4
+	m := machine.MustNew(cfg)
+	// Move cores off max first.
+	for c := 0; c < 4; c++ {
+		m.Device().Write(msr.IA32PerfCtl, c, msr.PerfCtlRaw(12))
+	}
+	if err := Apply(Performance, m.Device(), 4, cfg.CoreGrid); err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < 4; c++ {
+		if got := m.CoreRatio(c); got != cfg.CoreGrid.Max {
+			t.Errorf("core %d at %v, want max", c, got)
+		}
+	}
+}
+
+func TestApplyUserspaceNoop(t *testing.T) {
+	cfg := machine.DefaultConfig()
+	cfg.Cores = 2
+	m := machine.MustNew(cfg)
+	m.Device().Write(msr.IA32PerfCtl, 0, msr.PerfCtlRaw(15))
+	if err := Apply(Userspace, m.Device(), 2, cfg.CoreGrid); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.CoreRatio(0); got != 15 {
+		t.Errorf("userspace governor moved the core: %v", got)
+	}
+}
+
+func TestApplyUnknownPolicy(t *testing.T) {
+	cfg := machine.DefaultConfig()
+	cfg.Cores = 1
+	m := machine.MustNew(cfg)
+	if err := Apply(Policy("ondemand"), m.Device(), 1, cfg.CoreGrid); err == nil {
+		t.Error("unknown policy must error")
+	}
+}
+
+func TestAutoUFSQuietAndBusy(t *testing.T) {
+	a := DefaultAutoUFS()
+	grid := freq.HaswellUncore()
+	if got := a.Target(0.1e9, grid.Min, grid.Max); got != 22 {
+		t.Errorf("quiet target = %v, want 2.2GHz (Table 2 Default, compute-bound)", got)
+	}
+	if got := a.Target(1.5e9, grid.Min, grid.Max); got != 30 {
+		t.Errorf("busy target = %v, want 3.0GHz (Table 2 Default, memory-bound)", got)
+	}
+	mid := a.Target(0.85e9, grid.Min, grid.Max)
+	if mid < 22 || mid > 30 {
+		t.Errorf("ramp target = %v, want within [2.2GHz, 3.0GHz]", mid)
+	}
+}
+
+func TestAutoUFSRespectsMSRRange(t *testing.T) {
+	a := DefaultAutoUFS()
+	if got := a.Target(1.5e9, 12, 25); got != 25 {
+		t.Errorf("target = %v, must clamp to 0x620 max 2.5GHz", got)
+	}
+	if got := a.Target(0, 24, 30); got != 24 {
+		t.Errorf("target = %v, must clamp to 0x620 min 2.4GHz", got)
+	}
+}
+
+func TestAutoUFSMonotoneInDemand(t *testing.T) {
+	a := DefaultAutoUFS()
+	grid := freq.HaswellUncore()
+	prev := freq.Ratio(0)
+	for d := 0.0; d <= 2e9; d += 0.05e9 {
+		got := a.Target(d, grid.Min, grid.Max)
+		if got < prev {
+			t.Fatalf("target not monotone at demand %g: %v after %v", d, got, prev)
+		}
+		prev = got
+	}
+}

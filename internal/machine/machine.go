@@ -1,0 +1,548 @@
+// Package machine is the discrete-time simulator of a multicore Intel-style
+// socket: per-core DVFS, a socket-wide uncore frequency, an analytic
+// memory-path model, a CMOS power model feeding an emulated RAPL counter,
+// and a PMU exposing INST_RETIRED and TOR_INSERT through the MSR file.
+//
+// Software under test (the parallel runtimes and the Cuttlefish daemon)
+// interacts with the machine only the way it would with real hardware:
+// work is supplied as instruction/miss segments, frequencies are requested
+// by writing IA32_PERF_CTL and MSR 0x620 through the msr-safe device, and
+// the daemon reads the PMU and RAPL registers. This keeps the control path
+// under study identical to the paper's.
+package machine
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/freq"
+	"repro/internal/msr"
+	"repro/internal/perfmon"
+	"repro/internal/power"
+	"repro/internal/workload"
+)
+
+// coreState is one simulated core.
+type coreState struct {
+	ratio   freq.Ratio
+	duty    float64 // DDCM duty fraction (1.0 = unmodulated)
+	seg     workload.Segment
+	segLeft float64 // instructions remaining in seg
+	haveSeg bool
+	stolen  float64 // seconds of the next quantum consumed by a daemon
+
+	// lifetime accounting (simulation ground truth, not PMU-visible)
+	busySec  float64
+	stallSec float64
+	idleSec  float64
+}
+
+// quantumDelta is the per-core result of executing one quantum, merged into
+// machine state after all cores ran (keeping the parallel driver race-free).
+type quantumDelta struct {
+	instr      float64
+	missLocal  float64
+	missRemote float64
+	computeSec float64
+	stallSec   float64
+	idleSec    float64
+}
+
+// Component is stepped at a fixed simulated period; the Cuttlefish daemon
+// and trace recorders are components. Tick returns the CPU time the
+// component consumed on its pinned core, which the machine steals from that
+// core's next quantum (the paper's daemon time-shares core 0).
+type Component struct {
+	Period float64
+	Core   int
+	Tick   func(now float64) (cpuTax float64)
+
+	next float64
+}
+
+// Machine is one simulated socket executing a workload source.
+type Machine struct {
+	cfg  Config
+	file *msr.File
+	dev  *msr.Device
+	pmu  *perfmon.PMU
+	rapl *power.Rapl
+
+	mu          sync.Mutex
+	cores       []coreState
+	uncoreMin   freq.Ratio // firmware floor from MSR 0x620
+	uncoreMax   freq.Ratio // firmware ceiling from MSR 0x620
+	uncoreRatio freq.Ratio // actual operating point
+	firmware    UncoreFirmware
+	now         float64
+	demandEWMA  float64 // misses/second arriving at the uncore
+	comps       []*Component
+	src         workload.Source
+
+	totalInstr    float64
+	totalMissL    float64
+	totalMissR    float64
+	uncoreGHzSecs float64 // ∫ uncore frequency dt, for time-weighted averages
+}
+
+// UncoreFirmware decides the uncore operating point each millisecond when
+// MSR 0x620 leaves it a range to move in (the Default execution's "Auto"
+// BIOS mode, §2). A nil firmware pins the uncore at the range maximum.
+type UncoreFirmware interface {
+	// Target returns the desired uncore ratio given the smoothed miss
+	// demand (misses/second) and the legal range.
+	Target(demand float64, min, max freq.Ratio) freq.Ratio
+}
+
+// New creates a machine. The source may be nil (all cores idle); it can be
+// attached later with SetSource.
+func New(cfg Config) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Machine{
+		cfg:   cfg,
+		file:  msr.NewFile(cfg.Cores),
+		pmu:   perfmon.New(cfg.Cores),
+		rapl:  power.NewHaswellRapl(),
+		cores: make([]coreState, cfg.Cores),
+	}
+	m.dev = msr.NewDevice(m.file, msr.DefaultAllowlist())
+	for i := range m.cores {
+		m.cores[i].ratio = cfg.CoreGrid.Max
+		m.cores[i].duty = 1.0
+		// Seed the stored register image to the boot state so msr-safe
+		// Save/Restore brackets capture real values.
+		m.file.Poke(msr.IA32PerfCtl, i, msr.PerfCtlRaw(uint8(cfg.CoreGrid.Max)))
+	}
+	m.uncoreMin = cfg.UncoreGrid.Min
+	m.uncoreMax = cfg.UncoreGrid.Max
+	m.uncoreRatio = cfg.UncoreGrid.Max
+	m.file.Poke(msr.UncoreRatioLimit, 0, msr.UncoreLimitRaw(uint8(cfg.UncoreGrid.Min), uint8(cfg.UncoreGrid.Max)))
+	m.pmu.InstallHandlers(m.file)
+	m.installFrequencyHandlers()
+	m.installRaplHandler()
+	return m, nil
+}
+
+// MustNew is New for configurations known good at compile time.
+func MustNew(cfg Config) *Machine {
+	m, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// SetSource attaches the workload. It must be called before Run.
+func (m *Machine) SetSource(s workload.Source) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.src = s
+}
+
+func (m *Machine) installFrequencyHandlers() {
+	m.file.Install(msr.IA32PerfCtl, msr.Handler{
+		Write: func(core int, v uint64) error {
+			r := m.cfg.CoreGrid.Clamp(freq.Ratio(msr.PerfCtlRatio(v)))
+			m.mu.Lock()
+			m.cores[core].ratio = r
+			m.mu.Unlock()
+			return nil
+		},
+	})
+	m.file.Install(msr.IA32PerfStatus, msr.Handler{
+		Read: func(core int) uint64 {
+			m.mu.Lock()
+			defer m.mu.Unlock()
+			return msr.PerfCtlRaw(uint8(m.cores[core].ratio))
+		},
+	})
+	m.file.Install(msr.IA32ClockModulation, msr.Handler{
+		Write: func(core int, v uint64) error {
+			m.mu.Lock()
+			m.cores[core].duty = msr.ClockModDuty(v)
+			m.mu.Unlock()
+			return nil
+		},
+	})
+	m.file.Install(msr.UncoreRatioLimit, msr.Handler{
+		Write: func(_ int, v uint64) error {
+			lo, hi := msr.UncoreLimitRatios(v)
+			if lo > hi {
+				return fmt.Errorf("machine: uncore limit min %d > max %d", lo, hi)
+			}
+			m.mu.Lock()
+			m.uncoreMin = m.cfg.UncoreGrid.Clamp(freq.Ratio(lo))
+			m.uncoreMax = m.cfg.UncoreGrid.Clamp(freq.Ratio(hi))
+			// Snap the operating point into the new range immediately, as
+			// hardware does; the firmware may move it within range later.
+			if m.uncoreRatio < m.uncoreMin {
+				m.uncoreRatio = m.uncoreMin
+			}
+			if m.uncoreRatio > m.uncoreMax {
+				m.uncoreRatio = m.uncoreMax
+			}
+			m.mu.Unlock()
+			return nil
+		},
+		Read: func(int) uint64 {
+			m.mu.Lock()
+			defer m.mu.Unlock()
+			return msr.UncoreLimitRaw(uint8(m.uncoreMin), uint8(m.uncoreMax))
+		},
+	})
+}
+
+func (m *Machine) installRaplHandler() {
+	m.file.Install(msr.PkgEnergyStatus, msr.Handler{
+		Read: func(int) uint64 { return uint64(m.rapl.Counter()) },
+	})
+}
+
+// SetFirmware installs the Auto-mode uncore governor used by Default runs.
+func (m *Machine) SetFirmware(fw UncoreFirmware) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.firmware = fw
+}
+
+// Schedule registers a periodic component starting at time start.
+func (m *Machine) Schedule(c *Component, start float64) {
+	if c.Period <= 0 {
+		panic("machine: component period must be positive")
+	}
+	c.next = start
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.comps = append(m.comps, c)
+}
+
+// Device returns the msr-safe access path software should use.
+func (m *Machine) Device() *msr.Device { return m.dev }
+
+// File returns the raw register file (hardware-model use only).
+func (m *Machine) File() *msr.File { return m.file }
+
+// PMU returns the performance-monitoring unit.
+func (m *Machine) PMU() *perfmon.PMU { return m.pmu }
+
+// Rapl returns the package energy counter.
+func (m *Machine) Rapl() *power.Rapl { return m.rapl }
+
+// Config returns the machine configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Now returns the simulation time in seconds.
+func (m *Machine) Now() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.now
+}
+
+// UncoreRatio returns the current uncore operating point.
+func (m *Machine) UncoreRatio() freq.Ratio {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.uncoreRatio
+}
+
+// CoreRatio returns core i's current frequency ratio.
+func (m *Machine) CoreRatio(i int) freq.Ratio {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.cores[i].ratio
+}
+
+// DemandEWMA returns the smoothed LLC-miss demand in misses/second.
+func (m *Machine) DemandEWMA() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.demandEWMA
+}
+
+// TotalInstructions returns the exact count of retired instructions.
+func (m *Machine) TotalInstructions() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.totalInstr
+}
+
+// TotalEnergy returns the exact package energy in joules.
+func (m *Machine) TotalEnergy() float64 { return m.rapl.TotalJoules() }
+
+// AvgUncoreGHz returns the time-weighted average uncore frequency since
+// boot — what the paper's Table 2 reports as the Default execution's
+// effective uncore setting.
+func (m *Machine) AvgUncoreGHz() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.now == 0 {
+		return m.uncoreRatio.GHz()
+	}
+	return m.uncoreGHzSecs / m.now
+}
+
+// TotalMisses returns the exact local and remote TOR insert counts.
+func (m *Machine) TotalMisses() (local, remote float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.totalMissL, m.totalMissR
+}
+
+// Utilization returns the lifetime busy fraction of core i.
+func (m *Machine) Utilization(i int) float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c := &m.cores[i]
+	total := c.busySec + c.stallSec + c.idleSec
+	if total == 0 {
+		return 0
+	}
+	return (c.busySec + c.stallSec) / total
+}
+
+// StealCoreTime removes sec seconds from core i's next quantum; used by
+// daemon components to model time-sharing with the application.
+func (m *Machine) StealCoreTime(i int, sec float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.cores[i].stolen += sec
+}
+
+// Run advances the simulation until the source reports done and every core
+// has drained its in-flight segment, or maxSim seconds have elapsed,
+// whichever comes first. It returns the elapsed simulated time.
+func (m *Machine) Run(maxSim float64) float64 {
+	start := m.Now()
+	for m.Now()-start < maxSim {
+		if m.Finished() {
+			break
+		}
+		m.Step()
+	}
+	return m.Now() - start
+}
+
+// Finished reports whether the workload is complete: the source has no more
+// work and no core holds a partially executed segment.
+func (m *Machine) Finished() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.src == nil || !m.src.Done() {
+		return false
+	}
+	for i := range m.cores {
+		if m.cores[i].haveSeg {
+			return false
+		}
+	}
+	return true
+}
+
+// Step advances one quantum: execute all cores, merge accounting into the
+// PMU, integrate power into RAPL, step the firmware governor and fire due
+// components.
+func (m *Machine) Step() {
+	m.mu.Lock()
+	dt := m.cfg.QuantumSec
+	src := m.src
+	uncore := m.uncoreRatio
+	stall := m.cfg.Mem.StallPerMiss(uncore.GHz(), m.demandEWMA)
+	now := m.now
+	m.mu.Unlock()
+
+	deltas := make([]quantumDelta, m.cfg.Cores)
+	if m.cfg.Workers > 1 {
+		m.stepCoresParallel(src, now, dt, stall, deltas)
+	} else {
+		for i := range deltas {
+			deltas[i] = m.stepCore(i, src, now, dt, stall)
+		}
+	}
+
+	var instr, missL, missR float64
+	var corePower float64
+	m.mu.Lock()
+	for i := range deltas {
+		d := &deltas[i]
+		instr += d.instr
+		missL += d.missLocal
+		missR += d.missRemote
+		c := &m.cores[i]
+		c.busySec += d.computeSec
+		c.stallSec += d.stallSec
+		c.idleSec += d.idleSec
+		// Under DDCM the stretched compute time switches transistors only
+		// duty of the time; voltage and leakage are untouched, which is
+		// the knob's classic energy disadvantage vs DVFS.
+		activity := (d.computeSec*c.duty + m.cfg.StallActivity*d.stallSec) / dt
+		corePower += m.cfg.Power.CorePower(c.ratio.GHz(), activity)
+	}
+	missRate := (missL + missR) / dt
+	a := m.cfg.TrafficAlpha
+	m.demandEWMA = a*missRate + (1-a)*m.demandEWMA
+	rho := m.cfg.Mem.Utilization(m.demandEWMA, uncore.GHz())
+	pkgPower := corePower + m.cfg.Power.UncorePower(uncore.GHz(), rho) + m.cfg.Power.Base
+	m.totalInstr += instr
+	m.totalMissL += missL
+	m.totalMissR += missR
+	m.uncoreGHzSecs += uncore.GHz() * dt
+	m.now += dt
+	nowAfter := m.now
+
+	// Firmware moves the uncore within the 0x620 range once per step.
+	if m.firmware != nil && m.uncoreMin < m.uncoreMax {
+		m.uncoreRatio = m.cfg.UncoreGrid.Clamp(m.firmware.Target(m.demandEWMA, m.uncoreMin, m.uncoreMax))
+		if m.uncoreRatio < m.uncoreMin {
+			m.uncoreRatio = m.uncoreMin
+		}
+		if m.uncoreRatio > m.uncoreMax {
+			m.uncoreRatio = m.uncoreMax
+		}
+	}
+	comps := m.dueComponents(nowAfter)
+	m.mu.Unlock()
+
+	m.pmu.AddTor(missL, missR)
+	for i := range deltas {
+		if deltas[i].instr > 0 {
+			m.pmu.AddRetired(i, deltas[i].instr)
+		}
+	}
+	m.rapl.Deposit(pkgPower*dt, nowAfter)
+
+	for _, c := range comps {
+		tax := c.Tick(nowAfter)
+		if tax > 0 {
+			m.StealCoreTime(c.Core, tax)
+		}
+	}
+}
+
+func (m *Machine) dueComponents(now float64) []*Component {
+	var due []*Component
+	for _, c := range m.comps {
+		if now >= c.next-1e-12 {
+			due = append(due, c)
+			c.next += c.Period
+			// Never schedule into the past if a component was starved.
+			if c.next < now {
+				c.next = now + c.Period
+			}
+		}
+	}
+	return due
+}
+
+// stepCore executes core i for one quantum and returns its accounting.
+func (m *Machine) stepCore(i int, src workload.Source, now, dt, stallPerMiss float64) quantumDelta {
+	m.mu.Lock()
+	c := &m.cores[i]
+	budget := dt - c.stolen
+	c.stolen = 0
+	ratio := c.ratio
+	duty := c.duty
+	seg := c.seg
+	segLeft := c.segLeft
+	haveSeg := c.haveSeg
+	m.mu.Unlock()
+	if duty <= 0 || duty > 1 {
+		duty = 1
+	}
+
+	var d quantumDelta
+	if budget <= 0 {
+		// The daemon ate the whole quantum (pathological Tinv); the core
+		// makes no progress and the overdraft is dropped.
+		return d
+	}
+	fHz := ratio.Hz()
+	for budget > 1e-12 {
+		if !haveSeg {
+			if src == nil {
+				break
+			}
+			var ok bool
+			seg, ok = src.NextSegment(i, now)
+			if !ok {
+				break
+			}
+			if !seg.Valid() {
+				panic(fmt.Sprintf("machine: invalid segment %v from source", seg))
+			}
+			segLeft = seg.Instructions
+			haveSeg = true
+			if segLeft <= 0 {
+				haveSeg = false
+				src.Complete(i, now)
+				continue
+			}
+		}
+		ipc := seg.IPC
+		if ipc <= 0 {
+			ipc = m.cfg.BaseIPC
+		}
+		// DDCM gating stretches issue time by 1/duty (the clock only runs
+		// duty of the time) while in-flight memory accesses drain at full
+		// speed — the knob throttles compute without touching voltage.
+		perInstrCompute := 1 / (ipc * fHz * duty)
+		perInstrStall := seg.MissPerInstr * seg.StallFraction() * stallPerMiss
+		perInstr := perInstrCompute + perInstrStall
+		instr := budget / perInstr
+		finished := false
+		if instr >= segLeft {
+			instr = segLeft
+			haveSeg = false
+			finished = true
+		}
+		segLeft -= instr
+		used := instr * perInstr
+		budget -= used
+		d.instr += instr
+		d.computeSec += instr * perInstrCompute
+		d.stallSec += instr * perInstrStall
+		miss := instr * seg.MissPerInstr
+		d.missRemote += miss * seg.RemoteFrac
+		d.missLocal += miss * (1 - seg.RemoteFrac)
+		if finished {
+			segLeft = 0
+			src.Complete(i, now)
+		}
+	}
+	d.idleSec += math.Max(0, budget)
+
+	m.mu.Lock()
+	c = &m.cores[i]
+	c.seg = seg
+	c.segLeft = segLeft
+	c.haveSeg = haveSeg
+	m.mu.Unlock()
+	return d
+}
+
+// stepCoresParallel shards cores across worker goroutines. The workload
+// source must be safe for concurrent NextSegment calls.
+func (m *Machine) stepCoresParallel(src workload.Source, now, dt, stall float64, deltas []quantumDelta) {
+	workers := m.cfg.Workers
+	if workers > len(deltas) {
+		workers = len(deltas)
+	}
+	var wg sync.WaitGroup
+	next := make(chan int, len(deltas))
+	for i := range deltas {
+		next <- i
+	}
+	close(next)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				deltas[i] = m.stepCore(i, src, now, dt, stall)
+			}
+		}()
+	}
+	wg.Wait()
+}

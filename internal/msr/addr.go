@@ -1,0 +1,126 @@
+// Package msr emulates the Model-Specific Register surface that Cuttlefish
+// touches on an Intel Haswell server part: the per-core DVFS request
+// register, the socket-wide uncore ratio-limit register (0x620), the RAPL
+// package-energy counter, the fixed instructions-retired counter, and the
+// CBo TOR-insert uncore PMU counters.
+//
+// The register file is deliberately dumb storage plus a handler hook per
+// address; the machine simulator installs handlers so that counter reads
+// observe live simulation state and frequency writes actuate the simulated
+// hardware, exactly as writes through /dev/cpu/N/msr actuate a real part.
+// A Device in the style of LLNL's msr-safe wraps the file with an allow-list
+// and save/restore, which is how the paper's runtime accesses MSRs.
+package msr
+
+// Architectural and uncore MSR addresses used by the emulation. Core-scoped
+// addresses index a per-core bank; package-scoped addresses live in a single
+// socket bank.
+const (
+	// IA32PerfStatus reports the current core frequency ratio in bits 15:8.
+	IA32PerfStatus = 0x198
+	// IA32PerfCtl requests a core frequency ratio in bits 15:8 (per-core
+	// DVFS on Haswell and later).
+	IA32PerfCtl = 0x199
+	// IA32ClockModulation is the DDCM (dynamic duty-cycle modulation)
+	// control: bit 4 enables modulation, bits 3:1 select the duty cycle in
+	// 12.5% steps (Haswell also supports bit 0 for 6.25% granularity; the
+	// emulation models the classic 8-step scheme the DDCM literature the
+	// paper cites uses).
+	IA32ClockModulation = 0x19a
+	// IA32FixedCtr0 is the INST_RETIRED.ANY fixed-function counter.
+	IA32FixedCtr0 = 0x309
+	// RaplPowerUnit encodes the RAPL unit scheme; bits 12:8 give the energy
+	// status unit as 1/2^ESU joules.
+	RaplPowerUnit = 0x606
+	// PkgEnergyStatus is the 32-bit wrapping package energy counter,
+	// updated roughly every 1 ms on Haswell.
+	PkgEnergyStatus = 0x611
+	// UncoreRatioLimit bounds the uncore ratio: bits 6:0 hold the max
+	// ratio, bits 14:8 the min. Writing min == max pins the uncore
+	// frequency, which is how Cuttlefish drives UFS.
+	UncoreRatioLimit = 0x620
+
+	// TorInsertMissLocal and TorInsertMissRemote stand in for the CBo
+	// TOR_INSERT event programmed with the MISS_LOCAL / MISS_REMOTE umasks.
+	// On hardware these are reached through the uncore PMON blocks; the
+	// emulation exposes the two aggregated counts at fixed addresses since
+	// Cuttlefish only ever reads the socket-wide sums.
+	TorInsertMissLocal  = 0x700
+	TorInsertMissRemote = 0x701
+)
+
+// Scope says which bank an address belongs to.
+type Scope int
+
+const (
+	// ScopeCore registers have one instance per core.
+	ScopeCore Scope = iota
+	// ScopePackage registers have one instance per socket.
+	ScopePackage
+)
+
+// AddrScope returns the scope of a known address. Unknown addresses default
+// to package scope, matching how stray uncore MSRs behave.
+func AddrScope(addr uint32) Scope {
+	switch addr {
+	case IA32PerfStatus, IA32PerfCtl, IA32FixedCtr0, IA32ClockModulation:
+		return ScopeCore
+	default:
+		return ScopePackage
+	}
+}
+
+// ClockModRaw builds an IA32_CLOCK_MODULATION image: level 0 disables
+// modulation (full speed); levels 1..7 run the core at level/8 duty.
+func ClockModRaw(level uint8) uint64 {
+	if level == 0 || level >= 8 {
+		return 0
+	}
+	return 1<<4 | uint64(level)<<1
+}
+
+// ClockModDuty decodes an IA32_CLOCK_MODULATION image into the effective
+// duty fraction (1.0 when modulation is disabled).
+func ClockModDuty(raw uint64) float64 {
+	if raw&(1<<4) == 0 {
+		return 1.0
+	}
+	level := (raw >> 1) & 0x7
+	if level == 0 {
+		return 1.0
+	}
+	return float64(level) / 8
+}
+
+// DefaultEnergyStatusUnit is the Haswell-server RAPL energy unit exponent:
+// one counter tick is 1/2^14 J ≈ 61 µJ.
+const DefaultEnergyStatusUnit = 14
+
+// DefaultRaplPowerUnitRaw is the reset value of RaplPowerUnit with the
+// energy status unit in bits 12:8.
+const DefaultRaplPowerUnitRaw = uint64(DefaultEnergyStatusUnit) << 8
+
+// EnergyUnitJoules decodes a RaplPowerUnit raw value into joules per
+// energy-counter tick.
+func EnergyUnitJoules(raw uint64) float64 {
+	esu := (raw >> 8) & 0x1f
+	return 1.0 / float64(uint64(1)<<esu)
+}
+
+// PerfCtlRatio extracts the requested frequency ratio from an IA32_PERF_CTL
+// image (bits 15:8).
+func PerfCtlRatio(raw uint64) uint8 { return uint8(raw >> 8) }
+
+// PerfCtlRaw builds an IA32_PERF_CTL image requesting the given ratio.
+func PerfCtlRaw(ratio uint8) uint64 { return uint64(ratio) << 8 }
+
+// UncoreLimitRaw builds an uncore ratio-limit image with the given min and
+// max ratios (min in bits 14:8, max in bits 6:0).
+func UncoreLimitRaw(minRatio, maxRatio uint8) uint64 {
+	return uint64(minRatio&0x7f)<<8 | uint64(maxRatio&0x7f)
+}
+
+// UncoreLimitRatios decodes an uncore ratio-limit image.
+func UncoreLimitRatios(raw uint64) (minRatio, maxRatio uint8) {
+	return uint8(raw>>8) & 0x7f, uint8(raw) & 0x7f
+}

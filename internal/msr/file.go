@@ -1,0 +1,183 @@
+package msr
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Handler lets a hardware model back an address with live state. Read is
+// invoked with the core index (0 for package-scoped addresses); Write is
+// invoked when software stores to the register. Either hook may be nil, in
+// which case the plain storage cell is used for that direction.
+type Handler struct {
+	Read  func(core int) uint64
+	Write func(core int, v uint64) error
+}
+
+// File is the socket's register file: one bank per core plus one package
+// bank, with optional live handlers per address. It is safe for concurrent
+// use; the simulator's parallel step driver and the daemon may touch it from
+// different goroutines.
+type File struct {
+	mu       sync.RWMutex
+	cores    int
+	coreRegs []map[uint32]uint64
+	pkgRegs  map[uint32]uint64
+	handlers map[uint32]Handler
+}
+
+// NewFile creates a register file for a socket with the given core count and
+// architectural reset values.
+func NewFile(cores int) *File {
+	if cores <= 0 {
+		panic(fmt.Sprintf("msr: invalid core count %d", cores))
+	}
+	f := &File{
+		cores:    cores,
+		coreRegs: make([]map[uint32]uint64, cores),
+		pkgRegs:  make(map[uint32]uint64),
+		handlers: make(map[uint32]Handler),
+	}
+	for i := range f.coreRegs {
+		f.coreRegs[i] = make(map[uint32]uint64)
+	}
+	f.pkgRegs[RaplPowerUnit] = DefaultRaplPowerUnitRaw
+	return f
+}
+
+// Cores returns the number of per-core banks.
+func (f *File) Cores() int { return f.cores }
+
+// Install backs addr with a live handler. Installing replaces any previous
+// handler for the address.
+func (f *File) Install(addr uint32, h Handler) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.handlers[addr] = h
+}
+
+func (f *File) checkCore(addr uint32, core int) error {
+	switch AddrScope(addr) {
+	case ScopeCore:
+		if core < 0 || core >= f.cores {
+			return fmt.Errorf("msr: core %d out of range for addr %#x", core, addr)
+		}
+	case ScopePackage:
+		if core != 0 {
+			return fmt.Errorf("msr: package-scoped addr %#x must be accessed via core 0, got %d", addr, core)
+		}
+	}
+	return nil
+}
+
+// Read returns the value of addr on the given core (0 for package scope).
+func (f *File) Read(addr uint32, core int) (uint64, error) {
+	if err := f.checkCore(addr, core); err != nil {
+		return 0, err
+	}
+	f.mu.RLock()
+	h, live := f.handlers[addr]
+	f.mu.RUnlock()
+	if live && h.Read != nil {
+		return h.Read(core), nil
+	}
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	if AddrScope(addr) == ScopeCore {
+		return f.coreRegs[core][addr], nil
+	}
+	return f.pkgRegs[addr], nil
+}
+
+// Write stores v to addr on the given core (0 for package scope).
+func (f *File) Write(addr uint32, core int, v uint64) error {
+	if err := f.checkCore(addr, core); err != nil {
+		return err
+	}
+	f.mu.RLock()
+	h, live := f.handlers[addr]
+	f.mu.RUnlock()
+	if live && h.Write != nil {
+		if err := h.Write(core, v); err != nil {
+			return err
+		}
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if AddrScope(addr) == ScopeCore {
+		f.coreRegs[core][addr] = v
+	} else {
+		f.pkgRegs[addr] = v
+	}
+	return nil
+}
+
+// Poke stores a raw value without invoking handlers or scope checks beyond
+// bounds. Hardware models use it to publish counter snapshots.
+func (f *File) Poke(addr uint32, core int, v uint64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if AddrScope(addr) == ScopeCore && core >= 0 && core < f.cores {
+		f.coreRegs[core][addr] = v
+		return
+	}
+	f.pkgRegs[addr] = v
+}
+
+// Snapshot captures every stored register (handlers are not consulted), for
+// msr-safe style save/restore.
+func (f *File) Snapshot() Snapshot {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	s := Snapshot{Pkg: make(map[uint32]uint64, len(f.pkgRegs))}
+	for k, v := range f.pkgRegs {
+		s.Pkg[k] = v
+	}
+	s.PerCore = make([]map[uint32]uint64, f.cores)
+	for i, bank := range f.coreRegs {
+		m := make(map[uint32]uint64, len(bank))
+		for k, v := range bank {
+			m[k] = v
+		}
+		s.PerCore[i] = m
+	}
+	return s
+}
+
+// Restore writes a snapshot back through Write so handlers observe the
+// restored values (the msr-safe semantics: restoring PERF_CTL re-actuates
+// the frequency). Registers are written in address order for determinism.
+func (f *File) Restore(s Snapshot) error {
+	for _, addr := range sortedAddrs(s.Pkg) {
+		if err := f.Write(addr, 0, s.Pkg[addr]); err != nil {
+			return err
+		}
+	}
+	for core, bank := range s.PerCore {
+		if core >= f.cores {
+			return fmt.Errorf("msr: snapshot has %d cores, file has %d", len(s.PerCore), f.cores)
+		}
+		for _, addr := range sortedAddrs(bank) {
+			if err := f.Write(addr, core, bank[addr]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Snapshot is a point-in-time copy of the register file's stored cells.
+type Snapshot struct {
+	Pkg     map[uint32]uint64
+	PerCore []map[uint32]uint64
+}
+
+func sortedAddrs(m map[uint32]uint64) []uint32 {
+	addrs := make([]uint32, 0, len(m))
+	for a := range m {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	return addrs
+}

@@ -1,0 +1,90 @@
+// Package perfmon emulates the performance-monitoring hardware Cuttlefish
+// profiles: the per-core INST_RETIRED.ANY fixed counter and the socket-wide
+// TOR_INSERT occupancy counters with the MISS_LOCAL and MISS_REMOTE unit
+// masks (§3.1). The simulator deposits retired instructions and TOR traffic
+// here; the counters are published into the MSR file through live read
+// handlers, so profiling software observes them exactly as it would through
+// /dev/cpu/N/msr.
+package perfmon
+
+import (
+	"sync"
+
+	"repro/internal/msr"
+)
+
+// PMU aggregates counter state for one socket.
+type PMU struct {
+	mu          sync.Mutex
+	instRetired []float64 // per core; fractional accumulation, floor published
+	torLocal    float64
+	torRemote   float64
+}
+
+// New creates a PMU for the given core count.
+func New(cores int) *PMU {
+	return &PMU{instRetired: make([]float64, cores)}
+}
+
+// AddRetired credits instructions to a core's fixed counter. Fractional
+// amounts accumulate; the visible register exposes the integer part.
+func (p *PMU) AddRetired(core int, instr float64) {
+	p.mu.Lock()
+	p.instRetired[core] += instr
+	p.mu.Unlock()
+}
+
+// AddTor credits TOR inserts split by locality.
+func (p *PMU) AddTor(local, remote float64) {
+	p.mu.Lock()
+	p.torLocal += local
+	p.torRemote += remote
+	p.mu.Unlock()
+}
+
+// Retired returns the visible value of a core's INST_RETIRED.ANY counter.
+func (p *PMU) Retired(core int) uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return uint64(p.instRetired[core])
+}
+
+// RetiredAll returns the socket-wide sum of retired instructions, the
+// quantity in TIPI's denominator.
+func (p *PMU) RetiredAll() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var sum float64
+	for _, v := range p.instRetired {
+		sum += v
+	}
+	return uint64(sum)
+}
+
+// TorLocal returns the visible TOR_INSERT.MISS_LOCAL count.
+func (p *PMU) TorLocal() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return uint64(p.torLocal)
+}
+
+// TorRemote returns the visible TOR_INSERT.MISS_REMOTE count.
+func (p *PMU) TorRemote() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return uint64(p.torRemote)
+}
+
+// InstallHandlers publishes the counters as live MSR reads: the fixed
+// counter per core and the two TOR aggregates at package scope.
+func (p *PMU) InstallHandlers(f *msr.File) {
+	f.Install(msr.IA32FixedCtr0, msr.Handler{
+		Read: func(core int) uint64 { return p.Retired(core) },
+	})
+	f.Install(msr.TorInsertMissLocal, msr.Handler{
+		Read: func(int) uint64 { return p.TorLocal() },
+	})
+	f.Install(msr.TorInsertMissRemote, msr.Handler{
+		Read: func(int) uint64 { return p.TorRemote() },
+	})
+}

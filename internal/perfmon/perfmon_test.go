@@ -1,0 +1,85 @@
+package perfmon
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/msr"
+)
+
+func TestRetiredAccumulatesFractions(t *testing.T) {
+	p := New(2)
+	for i := 0; i < 10; i++ {
+		p.AddRetired(0, 0.25)
+	}
+	if got := p.Retired(0); got != 2 {
+		t.Errorf("Retired = %d, want 2 (10 × 0.25 floored)", got)
+	}
+	if got := p.Retired(1); got != 0 {
+		t.Errorf("core 1 leaked: %d", got)
+	}
+}
+
+func TestRetiredAll(t *testing.T) {
+	p := New(3)
+	p.AddRetired(0, 100)
+	p.AddRetired(1, 200)
+	p.AddRetired(2, 0.5)
+	if got := p.RetiredAll(); got != 300 {
+		t.Errorf("RetiredAll = %d, want 300", got)
+	}
+}
+
+func TestTorCounters(t *testing.T) {
+	p := New(1)
+	p.AddTor(10, 4)
+	p.AddTor(1.5, 0.25)
+	if got := p.TorLocal(); got != 11 {
+		t.Errorf("TorLocal = %d, want 11", got)
+	}
+	if got := p.TorRemote(); got != 4 {
+		t.Errorf("TorRemote = %d, want 4", got)
+	}
+}
+
+func TestInstallHandlers(t *testing.T) {
+	p := New(2)
+	f := msr.NewFile(2)
+	p.InstallHandlers(f)
+	p.AddRetired(1, 42)
+	p.AddTor(7, 3)
+
+	v, err := f.Read(msr.IA32FixedCtr0, 1)
+	if err != nil || v != 42 {
+		t.Errorf("fixed ctr via MSR = %d,%v want 42", v, err)
+	}
+	v, err = f.Read(msr.TorInsertMissLocal, 0)
+	if err != nil || v != 7 {
+		t.Errorf("TOR local via MSR = %d,%v want 7", v, err)
+	}
+	v, err = f.Read(msr.TorInsertMissRemote, 0)
+	if err != nil || v != 3 {
+		t.Errorf("TOR remote via MSR = %d,%v want 3", v, err)
+	}
+}
+
+// Property: counters are monotone under non-negative deposits and RetiredAll
+// is never less than any single core's counter.
+func TestMonotoneQuick(t *testing.T) {
+	prop := func(deposits []uint16) bool {
+		p := New(4)
+		var prev uint64
+		for i, d := range deposits {
+			p.AddRetired(i%4, float64(d))
+			all := p.RetiredAll()
+			if all < prev || all < p.Retired(i%4) {
+				return false
+			}
+			prev = all
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

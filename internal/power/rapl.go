@@ -1,0 +1,83 @@
+package power
+
+import (
+	"math"
+	"sync"
+
+	"repro/internal/msr"
+)
+
+// Rapl emulates the package RAPL energy counter: a 32-bit register counting
+// fixed energy units (2^-14 J on Haswell servers) that software reads from
+// MSR_PKG_ENERGY_STATUS. Like the hardware, the visible register only
+// advances on update-interval boundaries (1 ms on Haswell), so two reads
+// within the same millisecond return the same value — the reason the paper
+// picks Tinv as a multiple of 1 ms (§5.4).
+type Rapl struct {
+	mu             sync.Mutex
+	unitJ          float64
+	updateInterval float64 // seconds
+	pendingJ       float64 // deposited but not yet published
+	residualJ      float64 // sub-unit remainder after publishing
+	counter        uint32  // published register image
+	lastPublish    float64 // sim time of last publish
+	totalJ         float64 // exact ground truth for experiment reporting
+}
+
+// NewRapl creates a counter with the given energy unit (joules per tick) and
+// update interval in seconds.
+func NewRapl(unitJ, updateInterval float64) *Rapl {
+	return &Rapl{unitJ: unitJ, updateInterval: updateInterval}
+}
+
+// NewHaswellRapl creates the counter with Haswell defaults: 2^-14 J units,
+// 1 ms updates.
+func NewHaswellRapl() *Rapl {
+	return NewRapl(msr.EnergyUnitJoules(msr.DefaultRaplPowerUnitRaw), 1e-3)
+}
+
+// Deposit accumulates joules consumed up to simulation time now (seconds)
+// and publishes to the visible register on update-interval boundaries.
+func (r *Rapl) Deposit(joules, now float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.totalJ += joules
+	r.pendingJ += joules
+	if now-r.lastPublish < r.updateInterval {
+		return
+	}
+	r.publishLocked(now)
+}
+
+func (r *Rapl) publishLocked(now float64) {
+	total := r.pendingJ + r.residualJ
+	ticks := math.Floor(total / r.unitJ)
+	r.residualJ = total - ticks*r.unitJ
+	r.pendingJ = 0
+	r.counter += uint32(ticks) // wraps naturally at 2^32
+	r.lastPublish = now
+}
+
+// Counter returns the visible 32-bit register image.
+func (r *Rapl) Counter() uint32 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.counter
+}
+
+// TotalJoules returns the exact accumulated energy (experiment ground
+// truth; not visible to the profiled software).
+func (r *Rapl) TotalJoules() float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.totalJ
+}
+
+// UnitJoules returns joules per counter tick.
+func (r *Rapl) UnitJoules() float64 { return r.unitJ }
+
+// DeltaJoules converts a pair of counter reads into joules, handling a
+// single 32-bit wraparound the way RAPL consumers must.
+func DeltaJoules(before, after uint32, unitJ float64) float64 {
+	return float64(after-before) * unitJ // uint32 arithmetic wraps correctly
+}

@@ -1,0 +1,148 @@
+// Package sched implements the two parallel runtimes the paper evaluates
+// Cuttlefish under: an OpenMP-style work-sharing runtime (static loop
+// partitioning with barriers between parallel regions) and an HClib-style
+// async–finish work-stealing runtime (per-worker deques, random victim
+// selection, rounds joined by finish scopes).
+//
+// Cuttlefish itself never sees either runtime — that is the paper's central
+// claim of programming-model obliviousness — but the runtimes shape when
+// and where the machine retires instructions and generates TOR traffic,
+// which is everything the daemon observes.
+package sched
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"repro/internal/workload"
+)
+
+// Region is one work-sharing parallel region: Chunks independent pieces of
+// work, each described by Seg, separated from the next region by an implied
+// barrier. JitterFrac, if nonzero, perturbs each chunk's instruction count
+// by a uniform ±JitterFrac factor to model load imbalance.
+type Region struct {
+	Seg        workload.Segment
+	Chunks     int
+	JitterFrac float64
+}
+
+// RegionGen produces the region for a given step, or ok == false when the
+// program is over. Iterative benchmarks return their per-iteration regions
+// in sequence.
+type RegionGen func(step int) (Region, bool)
+
+// StaticProgram builds a RegionGen that cycles the given regions for the
+// given number of iterations.
+func StaticProgram(regions []Region, iterations int) RegionGen {
+	n := len(regions)
+	return func(step int) (Region, bool) {
+		if n == 0 || step >= n*iterations {
+			return Region{}, false
+		}
+		return regions[step%n], true
+	}
+}
+
+// WorkSharing executes a sequence of parallel regions with static chunk
+// assignment: chunk c of a region belongs to core c mod P, exactly like
+// OpenMP schedule(static) with chunk granularity. A region's barrier
+// releases only when every chunk has completed.
+type WorkSharing struct {
+	mu        sync.Mutex
+	cores     int
+	gen       RegionGen
+	rng       *rand.Rand
+	step      int
+	cur       Region
+	curOK     bool
+	claimed   []int // per-core chunks taken in the current region
+	completed int
+	inFlight  int
+	done      bool
+
+	// stats
+	regionsRun int
+	chunksRun  int
+}
+
+// NewWorkSharing creates the runtime for the given core count. The seed
+// drives jitter only; a jitter-free program is fully deterministic.
+func NewWorkSharing(cores int, gen RegionGen, seed int64) *WorkSharing {
+	if cores <= 0 {
+		panic(fmt.Sprintf("sched: invalid core count %d", cores))
+	}
+	ws := &WorkSharing{cores: cores, gen: gen, rng: rand.New(rand.NewSource(seed))}
+	ws.advanceLocked()
+	return ws
+}
+
+// advanceLocked loads the next region or marks the program done.
+func (w *WorkSharing) advanceLocked() {
+	w.cur, w.curOK = w.gen(w.step)
+	w.step++
+	w.completed = 0
+	w.claimed = make([]int, w.cores)
+	if !w.curOK {
+		w.done = true
+		return
+	}
+	if w.cur.Chunks <= 0 {
+		panic(fmt.Sprintf("sched: region %d has %d chunks", w.step-1, w.cur.Chunks))
+	}
+	w.regionsRun++
+}
+
+// NextSegment hands core its next statically assigned chunk (chunks core,
+// core+P, core+2P, ... of the region, in order). Cores whose share of the
+// region is exhausted wait at the barrier (ok == false) until every chunk
+// has completed.
+func (w *WorkSharing) NextSegment(core int, now float64) (workload.Segment, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.done {
+		return workload.Segment{}, false
+	}
+	idx := core + w.claimed[core]*w.cores
+	if idx >= w.cur.Chunks {
+		return workload.Segment{}, false // barrier wait
+	}
+	w.claimed[core]++
+	seg := w.cur.Seg
+	if j := w.cur.JitterFrac; j > 0 {
+		seg.Instructions *= 1 + (w.rng.Float64()*2-1)*j
+	}
+	w.inFlight++
+	w.chunksRun++
+	return seg, true
+}
+
+// Complete retires one chunk; the last chunk of a region opens the barrier.
+func (w *WorkSharing) Complete(core int, now float64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.done {
+		return
+	}
+	w.inFlight--
+	w.completed++
+	if w.completed == w.cur.Chunks {
+		w.claimed = nil
+		w.advanceLocked()
+	}
+}
+
+// Done reports whether every region has run to completion.
+func (w *WorkSharing) Done() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.done
+}
+
+// Stats returns regions and chunks executed so far.
+func (w *WorkSharing) Stats() (regions, chunks int) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.regionsRun, w.chunksRun
+}

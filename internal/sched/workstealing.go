@@ -1,0 +1,188 @@
+package sched
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"repro/internal/workload"
+)
+
+// Task is one async task in the async–finish model: a segment of work plus
+// an optional Expand hook that produces the children spawned by the task's
+// body. Expansion happens when the task completes, which unfolds the same
+// DAG as body-time spawning with slightly coarser interleaving.
+type Task struct {
+	Seg    workload.Segment
+	Expand func(r *rand.Rand) []Task
+}
+
+// RoundGen supplies the root task set of each finish scope ("round"), or
+// ok == false when the program ends. Iterative benchmarks (Heat, SOR) have
+// one round per outer iteration; UTS has a single round holding the tree
+// root.
+type RoundGen func(round int) ([]Task, bool)
+
+// SingleRound wraps a fixed task set as a one-round program.
+func SingleRound(tasks []Task) RoundGen {
+	return func(round int) ([]Task, bool) {
+		if round > 0 {
+			return nil, false
+		}
+		return tasks, true
+	}
+}
+
+// WorkStealing is the HClib-style runtime: each worker owns a deque, pushes
+// spawned children at the bottom, executes depth-first, and steals from the
+// top of random victims when empty. A finish scope joins each round: the
+// next round's roots are released only when every task of the current round
+// has completed.
+type WorkStealing struct {
+	mu      sync.Mutex
+	cores   int
+	gen     RoundGen
+	rng     *rand.Rand
+	deques  []deque
+	current []Task // task executing on each core
+	running []bool
+	pending int // tasks released but not completed in this round
+	round   int
+	done    bool
+
+	// StealOverheadInstr is charged as extra instructions on every
+	// successful steal, modelling deque CAS traffic and cache misses on the
+	// migrated task's working set.
+	StealOverheadInstr float64
+
+	steals      int
+	failedTries int
+	tasksRun    int
+}
+
+// NewWorkStealing creates the runtime. The seed drives victim selection
+// and any randomness in task expansion.
+func NewWorkStealing(cores int, gen RoundGen, seed int64) *WorkStealing {
+	if cores <= 0 {
+		panic(fmt.Sprintf("sched: invalid core count %d", cores))
+	}
+	w := &WorkStealing{
+		cores:              cores,
+		gen:                gen,
+		rng:                rand.New(rand.NewSource(seed)),
+		deques:             make([]deque, cores),
+		current:            make([]Task, cores),
+		running:            make([]bool, cores),
+		StealOverheadInstr: 400,
+	}
+	w.startRoundLocked()
+	return w
+}
+
+// startRoundLocked releases the next round's roots, distributing them
+// round-robin across the deques (HClib seeds the root at worker 0; we
+// spread multi-root rounds to shorten ramp-up the way its loop-fork does).
+func (w *WorkStealing) startRoundLocked() {
+	roots, ok := w.gen(w.round)
+	w.round++
+	if !ok {
+		w.done = true
+		return
+	}
+	if len(roots) == 0 {
+		// An empty round completes immediately; recurse to the next.
+		w.startRoundLocked()
+		return
+	}
+	for i, t := range roots {
+		w.deques[i%w.cores].pushBottom(t)
+	}
+	w.pending = len(roots)
+}
+
+// NextSegment pops local work or steals. It returns ok == false when the
+// worker found nothing this attempt (it will retry next quantum) or the
+// round is draining toward its finish barrier.
+func (w *WorkStealing) NextSegment(core int, now float64) (workload.Segment, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.done {
+		return workload.Segment{}, false
+	}
+	t, ok := w.deques[core].popBottom()
+	stole := false
+	if !ok {
+		t, ok = w.stealLocked(core)
+		stole = ok
+	}
+	if !ok {
+		return workload.Segment{}, false
+	}
+	w.current[core] = t
+	w.running[core] = true
+	w.tasksRun++
+	seg := t.Seg
+	if stole {
+		seg.Instructions += w.StealOverheadInstr
+	}
+	return seg, true
+}
+
+// stealLocked tries up to cores-1 random victims.
+func (w *WorkStealing) stealLocked(thief int) (Task, bool) {
+	if w.cores == 1 {
+		return Task{}, false
+	}
+	for tries := 0; tries < w.cores-1; tries++ {
+		victim := w.rng.Intn(w.cores)
+		if victim == thief {
+			continue
+		}
+		if t, ok := w.deques[victim].stealTop(); ok {
+			w.steals++
+			return t, true
+		}
+		w.failedTries++
+	}
+	return Task{}, false
+}
+
+// Complete finishes the task on core: its children are spawned onto the
+// core's own deque, and the finish barrier releases the next round when the
+// last task of this round retires.
+func (w *WorkStealing) Complete(core int, now float64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if !w.running[core] {
+		return
+	}
+	t := w.current[core]
+	w.current[core] = Task{}
+	w.running[core] = false
+	if t.Expand != nil {
+		children := t.Expand(w.rng)
+		for _, c := range children {
+			w.deques[core].pushBottom(c)
+		}
+		w.pending += len(children)
+	}
+	w.pending--
+	if w.pending == 0 {
+		w.startRoundLocked()
+	}
+}
+
+// Done reports whether every round has completed.
+func (w *WorkStealing) Done() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.done
+}
+
+// Stats returns scheduler counters: tasks executed, successful steals and
+// failed steal attempts.
+func (w *WorkStealing) Stats() (tasks, steals, failed int) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.tasksRun, w.steals, w.failedTries
+}

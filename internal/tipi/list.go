@@ -1,0 +1,111 @@
+package tipi
+
+import "repro/internal/freq"
+
+// Node is one discovered TIPI slab in the daemon's sorted doubly linked
+// list: exploration state for both frequency domains plus occurrence
+// statistics used for the paper's "frequent TIPI" reporting (Table 2).
+type Node struct {
+	Slab Slab
+	CF   *Explorer
+	UF   *Explorer
+
+	// UFRangeSet records whether Algorithm 3 has estimated this node's
+	// uncore exploration range yet (it runs once, when CFopt resolves).
+	UFRangeSet bool
+
+	// Hits counts the Tinv samples whose TIPI landed in this slab.
+	Hits int
+
+	prev, next *Node
+}
+
+// Prev and Next expose list neighbours (nil at the ends). Left neighbours
+// are more compute-bound, right neighbours more memory-bound.
+func (n *Node) Prev() *Node { return n.prev }
+func (n *Node) Next() *Node { return n.next }
+
+// List is the sorted doubly linked list of TIPI slabs (§4.2). It is empty
+// at daemon start; slabs are inserted as the application reveals them.
+type List struct {
+	head, tail *Node
+	len        int
+	coreGrid   freq.Grid
+	uncoreGrid freq.Grid
+}
+
+// NewList creates an empty list whose nodes explore the given grids.
+func NewList(coreGrid, uncoreGrid freq.Grid) *List {
+	return &List{coreGrid: coreGrid, uncoreGrid: uncoreGrid}
+}
+
+// Len returns the number of distinct slabs discovered.
+func (l *List) Len() int { return l.len }
+
+// Front returns the most compute-bound node, or nil.
+func (l *List) Front() *Node { return l.head }
+
+// Lookup returns the node for a slab, or nil if undiscovered.
+func (l *List) Lookup(s Slab) *Node {
+	for n := l.head; n != nil; n = n.next {
+		if n.Slab == s {
+			return n
+		}
+		if n.Slab > s {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Insert adds a node for a new slab in sorted position and returns it.
+// Inserting an existing slab returns the existing node.
+func (l *List) Insert(s Slab) *Node {
+	var after *Node
+	for n := l.head; n != nil; n = n.next {
+		if n.Slab == s {
+			return n
+		}
+		if n.Slab > s {
+			break
+		}
+		after = n
+	}
+	node := &Node{
+		Slab: s,
+		CF:   NewExplorer(l.coreGrid),
+		UF:   NewExplorer(l.uncoreGrid),
+	}
+	switch {
+	case after == nil: // new head
+		node.next = l.head
+		if l.head != nil {
+			l.head.prev = node
+		}
+		l.head = node
+		if l.tail == nil {
+			l.tail = node
+		}
+	default:
+		node.prev = after
+		node.next = after.next
+		after.next = node
+		if node.next != nil {
+			node.next.prev = node
+		} else {
+			l.tail = node
+		}
+	}
+	l.len++
+	return node
+}
+
+// Nodes returns the nodes in slab order (a copy; mutating list structure
+// while iterating the slice is safe).
+func (l *List) Nodes() []*Node {
+	out := make([]*Node, 0, l.len)
+	for n := l.head; n != nil; n = n.next {
+		out = append(out, n)
+	}
+	return out
+}

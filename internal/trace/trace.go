@@ -1,0 +1,67 @@
+// Package trace records per-interval time series during a run: TIPI, JPI
+// and the frequency operating points, sampled at a fixed period. Figures 2
+// and 3 of the paper are regenerated from these series.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/freq"
+)
+
+// Point is one sampling interval.
+type Point struct {
+	Time   float64 // interval end, seconds
+	TIPI   float64
+	JPI    float64 // joules per instruction
+	Instr  uint64
+	Joules float64
+	CF     freq.Ratio // core frequency of core 0 at sample time
+	UF     freq.Ratio
+}
+
+// Recorder accumulates points; it is safe for concurrent use.
+type Recorder struct {
+	mu     sync.Mutex
+	points []Point
+}
+
+// Add appends a point.
+func (r *Recorder) Add(p Point) {
+	r.mu.Lock()
+	r.points = append(r.points, p)
+	r.mu.Unlock()
+}
+
+// Points returns a copy of the recorded series.
+func (r *Recorder) Points() []Point {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Point, len(r.points))
+	copy(out, r.points)
+	return out
+}
+
+// Len returns the number of recorded points.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.points)
+}
+
+// WriteCSV emits the series with a header, one row per interval.
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "time_s,tipi,jpi_nj,cf_ghz,uf_ghz"); err != nil {
+		return err
+	}
+	for _, p := range r.Points() {
+		_, err := fmt.Fprintf(w, "%.4f,%.5f,%.4f,%.1f,%.1f\n",
+			p.Time, p.TIPI, p.JPI*1e9, p.CF.GHz(), p.UF.GHz())
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

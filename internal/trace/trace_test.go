@@ -1,0 +1,71 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/freq"
+)
+
+func TestRecorderAccumulates(t *testing.T) {
+	var r Recorder
+	for i := 0; i < 5; i++ {
+		r.Add(Point{Time: float64(i) * 0.02, TIPI: 0.01 * float64(i)})
+	}
+	if r.Len() != 5 {
+		t.Fatalf("len = %d, want 5", r.Len())
+	}
+	pts := r.Points()
+	if pts[3].TIPI != 0.03 {
+		t.Errorf("point 3 TIPI = %g, want 0.03", pts[3].TIPI)
+	}
+}
+
+func TestPointsReturnsCopy(t *testing.T) {
+	var r Recorder
+	r.Add(Point{TIPI: 1})
+	pts := r.Points()
+	pts[0].TIPI = 99
+	if r.Points()[0].TIPI != 1 {
+		t.Error("Points must return a copy")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var r Recorder
+	r.Add(Point{Time: 0.02, TIPI: 0.064, JPI: 4.2e-9, CF: freq.Ratio(12), UF: freq.Ratio(22)})
+	var sb strings.Builder
+	if err := r.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("csv lines = %d, want header + 1 row", len(lines))
+	}
+	if lines[0] != "time_s,tipi,jpi_nj,cf_ghz,uf_ghz" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != "0.0200,0.06400,4.2000,1.2,2.2" {
+		t.Errorf("row = %q", lines[1])
+	}
+}
+
+func TestRecorderConcurrentAdds(t *testing.T) {
+	var r Recorder
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Add(Point{TIPI: 0.01})
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Len() != 800 {
+		t.Errorf("len = %d, want 800", r.Len())
+	}
+}

@@ -1,0 +1,72 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSegmentValid(t *testing.T) {
+	good := Segment{Instructions: 100, MissPerInstr: 0.05, IPC: 2, RemoteFrac: 0.5, Exposure: 0.3}
+	if !good.Valid() {
+		t.Error("well-formed segment reported invalid")
+	}
+	for _, bad := range []Segment{
+		{Instructions: -1, IPC: 2},
+		{Instructions: 1, IPC: 0},
+		{Instructions: 1, IPC: 2, MissPerInstr: -0.1},
+		{Instructions: 1, IPC: 2, RemoteFrac: 1.5},
+		{Instructions: 1, IPC: 2, Exposure: 2},
+	} {
+		if bad.Valid() {
+			t.Errorf("invalid segment accepted: %v", bad)
+		}
+	}
+}
+
+func TestStallFractionDefault(t *testing.T) {
+	if got := (Segment{}).StallFraction(); got != 1 {
+		t.Errorf("zero exposure must default to 1, got %g", got)
+	}
+	if got := (Segment{Exposure: 0.3}).StallFraction(); got != 0.3 {
+		t.Errorf("explicit exposure ignored: %g", got)
+	}
+}
+
+func TestScale(t *testing.T) {
+	s := Segment{Instructions: 100, MissPerInstr: 0.01, IPC: 2}
+	scaled := s.Scale(2.5)
+	if scaled.Instructions != 250 {
+		t.Errorf("scaled instructions = %g, want 250", scaled.Instructions)
+	}
+	if scaled.MissPerInstr != s.MissPerInstr || scaled.IPC != s.IPC {
+		t.Error("Scale must not alter densities")
+	}
+}
+
+func TestTotalInstructions(t *testing.T) {
+	phases := []Phase{
+		{Seg: Segment{Instructions: 10, IPC: 1}, Count: 3},
+		{Seg: Segment{Instructions: 5, IPC: 1}, Count: 4},
+	}
+	if got := TotalInstructions(phases); got != 50 {
+		t.Errorf("TotalInstructions = %g, want 50", got)
+	}
+}
+
+// Property: scaling by a and then b equals scaling by a*b.
+func TestScaleComposesQuick(t *testing.T) {
+	prop := func(a, b uint8) bool {
+		s := Segment{Instructions: 1000, IPC: 2}
+		ka, kb := float64(a)/16+0.1, float64(b)/16+0.1
+		lhs := s.Scale(ka).Scale(kb).Instructions
+		rhs := s.Scale(ka * kb).Instructions
+		diff := lhs - rhs
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff < 1e-9*rhs+1e-12
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
