@@ -35,6 +35,8 @@ func main() {
 		tinv      = flag.Float64("tinv", 20e-3, "daemon profiling interval (s)")
 		traceOut  = flag.String("trace", "", "write per-Tinv CSV trace to this file")
 		list      = flag.Bool("list", false, "list benchmarks and exit")
+		workers   = flag.Int("workers", 0, "engine worker goroutines sharding the simulated cores (0/1 = serial)")
+		batch     = flag.Int("batch", 0, "max quanta per engine dispatch (0 = run to next event)")
 	)
 	flag.Parse()
 	if *list {
@@ -48,23 +50,26 @@ func main() {
 		}
 		return
 	}
-	if err := run(*benchName, *policy, *model, *scale, *seed, *cores, *tinv, *traceOut); err != nil {
+	if err := run(*benchName, *policy, *model, *scale, *seed, *cores, *tinv, *traceOut, *workers, *batch); err != nil {
 		fmt.Fprintf(os.Stderr, "cfsim: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(benchName, policy, model string, scale float64, seed int64, cores int, tinv float64, traceOut string) error {
+func run(benchName, policy, model string, scale float64, seed int64, cores int, tinv float64, traceOut string, workers, batch int) error {
 	spec, ok := bench.Get(benchName)
 	if !ok {
 		return fmt.Errorf("unknown benchmark %q (use -list)", benchName)
 	}
 	mcfg := machine.DefaultConfig()
 	mcfg.Cores = cores
+	mcfg.Workers = workers
+	mcfg.BatchQuanta = batch
 	m, err := machine.New(mcfg)
 	if err != nil {
 		return err
 	}
+	defer m.Close()
 
 	var daemon *core.Daemon
 	switch experiments.PolicyName(policy) {

@@ -27,6 +27,8 @@ func main() {
 	flag.Int64Var(&opt.Seed, "seed", opt.Seed, "base RNG seed")
 	flag.Float64Var(&opt.TinvSec, "tinv", opt.TinvSec, "daemon profiling interval in seconds")
 	flag.IntVar(&opt.Workers, "workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
+	flag.IntVar(&opt.SimWorkers, "simworkers", 0, "engine workers sharding each simulated machine's cores (0/1 = serial)")
+	flag.IntVar(&opt.BatchQuanta, "batch", 0, "max quanta per engine dispatch (0 = run to next event)")
 	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() != 1 {

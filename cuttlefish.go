@@ -36,7 +36,11 @@ import (
 // Machine is the simulated multicore socket programs run on.
 type Machine = machine.Machine
 
-// MachineConfig configures the simulated socket.
+// MachineConfig configures the simulated socket, including the execution
+// engine's knobs: Workers shards the socket's cores across that many
+// persistent host goroutines, and BatchQuanta caps how many quanta the
+// engine runs per dispatch between component deadlines (0 = run to the
+// next event). cmd/cfsim and cmd/cuttlefish expose both as flags.
 type MachineConfig = machine.Config
 
 // DefaultMachineConfig returns the paper's evaluation machine: a 20-core
@@ -92,6 +96,7 @@ type Session struct {
 	daemon *core.Daemon
 	dev    *msr.Device
 	m      *Machine
+	comp   *machine.Component
 	done   bool
 }
 
@@ -107,22 +112,26 @@ func Start(m *Machine, cfg DaemonConfig) (*Session, error) {
 	if err != nil {
 		return nil, fmt.Errorf("cuttlefish: %w", err)
 	}
-	m.Schedule(&machine.Component{
+	comp := &machine.Component{
 		Period: cfg.TinvSec,
 		Core:   cfg.PinnedCore,
 		Tick:   d.Tick,
-	}, now+cfg.TinvSec)
-	return &Session{daemon: d, dev: dev, m: m}, nil
+	}
+	m.Schedule(comp, now+cfg.TinvSec)
+	return &Session{daemon: d, dev: dev, m: m, comp: comp}, nil
 }
 
-// Stop shuts the daemon down and restores the MSR state captured at Start.
-// It is idempotent.
+// Stop shuts the daemon down, removes its component from the machine's
+// event queue (so nothing keeps firing — or stealing core time — after the
+// session ends) and restores the MSR state captured at Start. It is
+// idempotent.
 func (s *Session) Stop() error {
 	if s.done {
 		return nil
 	}
 	s.done = true
 	s.daemon.Stop()
+	s.m.Unschedule(s.comp)
 	if err := s.daemon.Err(); err != nil {
 		return fmt.Errorf("cuttlefish: daemon failed during run: %w", err)
 	}

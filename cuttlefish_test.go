@@ -197,6 +197,35 @@ func TestStopRestoresFrequencies(t *testing.T) {
 	}
 }
 
+func TestStopUnschedulesDaemonComponent(t *testing.T) {
+	// The stale-daemon regression: Stop used to leave the daemon's
+	// component scheduled, so its Tick kept firing (and could keep stealing
+	// core time) for the rest of the machine's life.
+	spec, _ := BenchmarkByName("Heat-irt")
+	m, _ := NewMachine(DefaultMachineConfig())
+	sess, err := Start(m, DefaultDaemonConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, _ := spec.Build(BenchmarkParams{Cores: 20, Scale: 0.08, Seed: 1})
+	m.SetSource(src)
+	m.Run(400)
+	if err := sess.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	samples := sess.Daemon().Samples()
+	// Keep the machine alive past Stop: idle time, then a fresh workload.
+	for i := 0; i < 4000; i++ { // 2 s of idle quanta
+		m.Step()
+	}
+	src2, _ := spec.Build(BenchmarkParams{Cores: 20, Scale: 0.05, Seed: 2})
+	m.SetSource(src2)
+	m.Run(400)
+	if got := sess.Daemon().Samples(); got != samples {
+		t.Errorf("daemon processed %d further samples after Stop; component still scheduled", got-samples)
+	}
+}
+
 func TestObliviousAcrossModels(t *testing.T) {
 	// §5.2: the daemon's conclusions for the same benchmark should agree
 	// between the OpenMP and HClib runtimes.

@@ -59,31 +59,32 @@ func utsSpec() Spec {
 				RemoteFrac:   remoteFrac,
 				Exposure:     1.0,
 			}
-			var mkNode func() sched.Task
-			mkNode = func() sched.Task {
-				return sched.Task{
-					Seg: nodeSeg,
-					Expand: func(r *rand.Rand) []sched.Task {
-						if budget <= 0 {
-							return nil
-						}
-						// Geometric-flavoured branching: 0–7 children with
-						// a long tail of leaves, the UTS imbalance source.
-						n := 0
-						if r.Float64() < 0.30 {
-							n = 1 + r.Intn(7)
-						}
-						if n > budget {
-							n = budget
-						}
-						budget -= n
-						kids := make([]sched.Task, n)
-						for i := range kids {
-							kids[i] = mkNode()
-						}
-						return kids
-					},
+			// All nodes share one Expand closure over the common budget —
+			// millions of tasks per run, so per-node closure allocations
+			// would dominate the scheduler's footprint.
+			var expand func(r *rand.Rand) []sched.Task
+			mkNode := func() sched.Task {
+				return sched.Task{Seg: nodeSeg, Expand: expand}
+			}
+			expand = func(r *rand.Rand) []sched.Task {
+				if budget <= 0 {
+					return nil
 				}
+				// Geometric-flavoured branching: 0–7 children with a long
+				// tail of leaves, the UTS imbalance source.
+				n := 0
+				if r.Float64() < 0.30 {
+					n = 1 + r.Intn(7)
+				}
+				if n > budget {
+					n = budget
+				}
+				budget -= n
+				kids := make([]sched.Task, n)
+				for i := range kids {
+					kids[i] = mkNode()
+				}
+				return kids
 			}
 			// UTS trees hang off a root with a large fixed branching factor
 			// (b0); the interior branching process alone is near-critical

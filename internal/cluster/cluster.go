@@ -14,11 +14,13 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
 	"repro/internal/governor"
 	"repro/internal/machine"
+	"repro/internal/runner"
 	"repro/internal/sched"
 )
 
@@ -80,6 +82,11 @@ type Config struct {
 	Network Network
 	Policy  Policy
 	Seed    int64
+	// Workers bounds how many ranks simulate concurrently between
+	// supersteps (each rank is an independent Machine, so they parallelise
+	// perfectly); <= 0 means GOMAXPROCS. Per-rank results are independent
+	// of this setting.
+	Workers int
 }
 
 // DefaultConfig is a 4-node cluster of the paper's sockets.
@@ -153,13 +160,23 @@ func Run(cfg Config, app App) (Result, error) {
 	for i := range results {
 		results[i] = NodeResult{Rank: i, Daemon: nodes[i].daemon}
 	}
+	defer func() {
+		for _, n := range nodes {
+			n.m.Close()
+		}
+	}()
 
+	// Ranks are independent machines, so each superstep's compute and
+	// barrier-wait phases fan out on the shared runner pool — nodes step in
+	// parallel between supersteps and re-synchronise at each barrier.
+	pool := runner.Pool{Workers: cfg.Workers}
+	ctx := context.Background()
 	for step := 0; step < app.Steps; step++ {
 		// Local compute: each rank runs its region list to completion on
 		// its own machine; simulated clocks advance independently here and
 		// re-synchronise at the barrier below.
-		barrier := 0.0
-		for rank, n := range nodes {
+		err := pool.ForEach(ctx, len(nodes), func(_ context.Context, rank int) error {
+			n := nodes[rank]
 			regions := app.Compute(rank, step)
 			start := n.m.Now()
 			if len(regions) > 0 {
@@ -167,10 +184,17 @@ func Run(cfg Config, app App) (Result, error) {
 				n.m.SetSource(src)
 				n.m.Run(3600)
 				if !n.m.Finished() {
-					return Result{}, fmt.Errorf("cluster: rank %d wedged in step %d", rank, step)
+					return fmt.Errorf("cluster: rank %d wedged in step %d", rank, step)
 				}
 			}
 			results[rank].BusySec += n.m.Now() - start
+			return nil
+		})
+		if err != nil {
+			return Result{}, err
+		}
+		barrier := 0.0
+		for _, n := range nodes {
 			if n.m.Now() > barrier {
 				barrier = n.m.Now()
 			}
@@ -190,16 +214,19 @@ func Run(cfg Config, app App) (Result, error) {
 		// power model and daemon keep running — early finishers burn idle
 		// energy at whatever frequencies their daemon chose, the §4.6
 		// limitation.
-		for rank, n := range nodes {
-			wait := barrier - n.m.Now()
-			if wait < 0 {
-				continue
+		err = pool.ForEach(ctx, len(nodes), func(_ context.Context, rank int) error {
+			n := nodes[rank]
+			wait := barrier - 1e-12 - n.m.Now()
+			if wait <= 0 {
+				return nil
 			}
-			results[rank].WaitSec += wait
+			results[rank].WaitSec += barrier - n.m.Now()
 			n.m.SetSource(nil)
-			for n.m.Now() < barrier-1e-12 {
-				n.m.Step()
-			}
+			n.m.Run(wait)
+			return nil
+		})
+		if err != nil {
+			return Result{}, err
 		}
 	}
 

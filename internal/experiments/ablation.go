@@ -94,7 +94,7 @@ func Ablation(names []string, opt Options) ([]AblationRow, error) {
 		}
 	}
 	outcomes := make([]ablatedOutcome, len(jobs))
-	err := forEach(len(jobs), opt.Workers, func(i int) error {
+	err := forEach(len(jobs), opt, func(i int) error {
 		j := jobs[i]
 		o, err := runAblated(specs[j.bench], j.variant, opt, opt.Seed+int64(j.rep))
 		if err != nil {
@@ -108,7 +108,7 @@ func Ablation(names []string, opt Options) ([]AblationRow, error) {
 	}
 	// Defaults for the savings baseline.
 	defaults := make([]RunResult, len(specs)*opt.Reps)
-	err = forEach(len(defaults), opt.Workers, func(i int) error {
+	err = forEach(len(defaults), opt, func(i int) error {
 		b, r := i/opt.Reps, i%opt.Reps
 		res, err := RunOne(specs[b], Default, opt, opt.Seed+int64(r))
 		if err != nil {
@@ -156,12 +156,12 @@ type ablatedOutcome struct {
 
 func runAblated(spec bench.Spec, v AblationVariant, opt Options, seed int64) (ablatedOutcome, error) {
 	var out ablatedOutcome
-	mcfg := machine.DefaultConfig()
-	mcfg.Cores = opt.Cores
+	mcfg := opt.machineConfig()
 	m, err := machine.New(mcfg)
 	if err != nil {
 		return out, err
 	}
+	defer m.Close()
 	dcfg := core.DefaultConfig()
 	dcfg.TinvSec = opt.TinvSec
 	dcfg.WarmupSec = opt.WarmupSec

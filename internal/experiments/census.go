@@ -23,12 +23,12 @@ const FrequentShare = 0.10
 // cf/uf pin the frequencies; passing zero for either leaves it at the
 // Default environment's setting (performance governor / firmware Auto).
 func sampleRun(spec bench.Spec, opt Options, seed int64, cf, uf freq.Ratio) (*trace.Recorder, float64, error) {
-	mcfg := machine.DefaultConfig()
-	mcfg.Cores = opt.Cores
+	mcfg := opt.machineConfig()
 	m, err := machine.New(mcfg)
 	if err != nil {
 		return nil, 0, err
 	}
+	defer m.Close()
 	if err := governor.Apply(governor.Performance, m.Device(), mcfg.Cores, mcfg.CoreGrid); err != nil {
 		return nil, 0, err
 	}
@@ -120,7 +120,7 @@ type Table1Row struct {
 func Table1(opt Options) ([]Table1Row, error) {
 	specs := bench.All()
 	rows := make([]Table1Row, len(specs))
-	err := forEach(len(specs), opt.Workers, func(i int) error {
+	err := forEach(len(specs), opt, func(i int) error {
 		spec := specs[i]
 		rec, sec, err := sampleRun(spec, opt, opt.Seed, 0, 0)
 		if err != nil {
@@ -163,7 +163,7 @@ var Fig2Benchmarks = []string{"UTS", "SOR-irt", "Heat-irt", "MiniFE", "HPCCG", "
 func Fig2(opt Options) (map[string]*trace.Recorder, error) {
 	out := make(map[string]*trace.Recorder, len(Fig2Benchmarks))
 	recs := make([]*trace.Recorder, len(Fig2Benchmarks))
-	err := forEach(len(Fig2Benchmarks), opt.Workers, func(i int) error {
+	err := forEach(len(Fig2Benchmarks), opt, func(i int) error {
 		spec, ok := bench.Get(Fig2Benchmarks[i])
 		if !ok {
 			return fmt.Errorf("experiments: unknown benchmark %q", Fig2Benchmarks[i])
@@ -209,7 +209,7 @@ func fig3Sweep(opt Options, settings []freq.Ratio, sweepCF bool) ([]Fig3Point, e
 		}
 	}
 	points := make([][]Fig3Point, len(jobs))
-	err := forEach(len(jobs), opt.Workers, func(i int) error {
+	err := forEach(len(jobs), opt, func(i int) error {
 		j := jobs[i]
 		spec, ok := bench.Get(Fig2Benchmarks[j.bench])
 		if !ok {

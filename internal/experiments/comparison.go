@@ -65,7 +65,7 @@ func Compare(names []string, opt Options) (Comparison, error) {
 	}
 	results := make(map[runKey]RunResult, len(keys))
 	var mu sync.Mutex
-	err := forEach(len(keys), opt.Workers, func(i int) error {
+	err := forEach(len(keys), opt, func(i int) error {
 		k := keys[i]
 		res, err := RunOne(specs[k.bench], k.policy, opt, opt.Seed+int64(k.rep))
 		if err != nil {
@@ -159,7 +159,7 @@ func Table3(opt Options, tinvs []float64) ([]Table3Row, error) {
 
 	// Defaults are Tinv-independent; run them once.
 	defaults := make([]RunResult, len(specs)*opt.Reps)
-	err := forEach(len(defaults), opt.Workers, func(i int) error {
+	err := forEach(len(defaults), opt, func(i int) error {
 		b, r := i/opt.Reps, i%opt.Reps
 		res, err := RunOne(specs[b], Default, opt, opt.Seed+int64(r))
 		if err != nil {
@@ -177,7 +177,7 @@ func Table3(opt Options, tinvs []float64) ([]Table3Row, error) {
 		o := opt
 		o.TinvSec = tinv
 		runs := make([]RunResult, len(specs)*opt.Reps)
-		err := forEach(len(runs), opt.Workers, func(i int) error {
+		err := forEach(len(runs), opt, func(i int) error {
 			b, r := i/opt.Reps, i%opt.Reps
 			res, err := RunOne(specs[b], Cuttlefish, o, opt.Seed+int64(r))
 			if err != nil {

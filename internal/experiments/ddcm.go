@@ -40,7 +40,7 @@ func DDCMStudy(names []string, opt Options) ([]DDCMRow, error) {
 		ddcmLevel = 6  // 6/8 duty → 0.75, the closest DDCM step
 	)
 	rows := make([]DDCMRow, len(names))
-	err := forEach(len(names), opt.Workers, func(i int) error {
+	err := forEach(len(names), opt, func(i int) error {
 		spec, ok := bench.Get(names[i])
 		if !ok {
 			return fmt.Errorf("experiments: unknown benchmark %q", names[i])
@@ -77,12 +77,12 @@ type throttledOutcome struct {
 
 func runThrottled(spec bench.Spec, opt Options, cfRatio uint8, ddcmLevel uint8) (throttledOutcome, error) {
 	var out throttledOutcome
-	mcfg := machine.DefaultConfig()
-	mcfg.Cores = opt.Cores
+	mcfg := opt.machineConfig()
 	m, err := machine.New(mcfg)
 	if err != nil {
 		return out, err
 	}
+	defer m.Close()
 	// Pin the uncore at the firmware's quiet point so only the core knob
 	// varies between the rows.
 	if err := m.Device().Write(msr.UncoreRatioLimit, 0, msr.UncoreLimitRaw(22, 22)); err != nil {

@@ -9,14 +9,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
-	"runtime"
-	"sync"
 
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/governor"
 	"repro/internal/machine"
+	"repro/internal/runner"
 	"repro/internal/stats"
 )
 
@@ -71,6 +71,28 @@ type Options struct {
 	Model bench.Model
 	// Workers bounds concurrent simulations; 0 means GOMAXPROCS.
 	Workers int
+	// SimWorkers shards each simulated machine's cores across that many
+	// engine goroutines (machine.Config.Workers). The default 0 keeps
+	// machines serial, which is right when Workers already saturates the
+	// host with independent simulations.
+	SimWorkers int
+	// BatchQuanta caps the engine's run-to-next-event batching
+	// (machine.Config.BatchQuanta); 0 means unbounded.
+	BatchQuanta int
+}
+
+// pool returns the shared bounded-concurrency pool every harness fans its
+// independent simulations out on.
+func (o Options) pool() runner.Pool { return runner.Pool{Workers: o.Workers} }
+
+// machineConfig builds the simulated socket's configuration, wiring the
+// engine knobs through.
+func (o Options) machineConfig() machine.Config {
+	cfg := machine.DefaultConfig()
+	cfg.Cores = o.Cores
+	cfg.Workers = o.SimWorkers
+	cfg.BatchQuanta = o.BatchQuanta
+	return cfg
 }
 
 // DefaultOptions returns a configuration that finishes the full evaluation
@@ -101,12 +123,12 @@ type RunResult struct {
 
 // RunOne executes one benchmark under one policy.
 func RunOne(spec bench.Spec, policy PolicyName, opt Options, seed int64) (RunResult, error) {
-	cfg := machine.DefaultConfig()
-	cfg.Cores = opt.Cores
+	cfg := opt.machineConfig()
 	m, err := machine.New(cfg)
 	if err != nil {
 		return RunResult{}, err
 	}
+	defer m.Close()
 	var daemon *core.Daemon
 	if dp, isCuttlefish := policy.daemonPolicy(); isCuttlefish {
 		dcfg := core.DefaultConfig()
@@ -153,34 +175,11 @@ func RunOne(spec bench.Spec, policy PolicyName, opt Options, seed int64) (RunRes
 	}, nil
 }
 
-// forEach runs fn for indexes 0..n-1 on a bounded worker pool and returns
-// the first error.
-func forEach(n, workers int, fn func(i int) error) error {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > n {
-		workers = n
-	}
-	var wg sync.WaitGroup
-	idx := make(chan int)
-	errs := make(chan error, n)
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for i := range idx {
-				if err := fn(i); err != nil {
-					errs <- err
-				}
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		idx <- i
-	}
-	close(idx)
-	wg.Wait()
-	close(errs)
-	return <-errs
+// forEach fans n independent simulations out on the shared runner pool.
+// All failures are aggregated (the private pool this replaced returned only
+// the first error and dropped the rest).
+func forEach(n int, opt Options, fn func(i int) error) error {
+	return opt.pool().ForEach(context.Background(), n, func(_ context.Context, i int) error {
+		return fn(i)
+	})
 }

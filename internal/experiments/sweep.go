@@ -41,14 +41,14 @@ func Sweep(name string, opt Options, cfStride, ufStride int) ([]SweepPoint, erro
 			grid = append(grid, SweepPoint{CF: cf, UF: uf})
 		}
 	}
-	err := forEach(len(grid), opt.Workers, func(i int) error {
+	err := forEach(len(grid), opt, func(i int) error {
 		p := &grid[i]
-		mcfg := machine.DefaultConfig()
-		mcfg.Cores = opt.Cores
+		mcfg := opt.machineConfig()
 		m, err := machine.New(mcfg)
 		if err != nil {
 			return err
 		}
+		defer m.Close()
 		for c := 0; c < mcfg.Cores; c++ {
 			if err := m.Device().Write(msr.IA32PerfCtl, c, msr.PerfCtlRaw(uint8(p.CF))); err != nil {
 				return err

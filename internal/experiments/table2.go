@@ -40,7 +40,7 @@ type Table2Row struct {
 func Table2(opt Options) ([]Table2Row, error) {
 	specs := bench.All()
 	rows := make([]Table2Row, len(specs))
-	err := forEach(len(specs), opt.Workers, func(i int) error {
+	err := forEach(len(specs), opt, func(i int) error {
 		spec := specs[i]
 		cf, err := RunOne(spec, Cuttlefish, opt, opt.Seed)
 		if err != nil {

@@ -29,9 +29,17 @@ type Config struct {
 	// Mem and Power are the memory-path and power models.
 	Mem   mem.Params
 	Power power.Params
-	// Workers > 1 enables the parallel step driver with that many host
-	// goroutines. 0 or 1 selects the deterministic serial driver.
+	// Workers > 1 shards cores across that many persistent engine worker
+	// goroutines. 0 or 1 selects the serial driver. Both drivers walk the
+	// same arithmetic in the same order; results are bit-identical for
+	// sources whose scheduling does not depend on same-quantum call order
+	// across cores (see the engine's concurrency notes).
 	Workers int
+	// BatchQuanta caps how many quanta the engine executes per dispatch
+	// when Run batches between component deadlines. 0 means unbounded
+	// (run to the next event), which is the fast default; 1 reproduces
+	// quantum-at-a-time stepping.
+	BatchQuanta int
 }
 
 // DefaultConfig returns the paper's machine: a 20-core Haswell-class socket,
@@ -66,6 +74,12 @@ func (c Config) Validate() error {
 	}
 	if c.TrafficAlpha <= 0 || c.TrafficAlpha > 1 {
 		return fmt.Errorf("machine: traffic alpha must be in (0,1], got %g", c.TrafficAlpha)
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("machine: workers must be non-negative, got %d", c.Workers)
+	}
+	if c.BatchQuanta < 0 {
+		return fmt.Errorf("machine: batch quanta must be non-negative, got %d", c.BatchQuanta)
 	}
 	return nil
 }

@@ -1,0 +1,89 @@
+package machine
+
+import "container/heap"
+
+// eventQueue orders scheduled components by their next deadline in a
+// min-heap, replacing the former linear scan over every component each
+// quantum. Ties fire in scheduling order (seq), so multi-component machines
+// stay deterministic.
+type eventQueue struct {
+	items   []*Component
+	nextSeq uint64
+}
+
+func (q *eventQueue) Len() int { return len(q.items) }
+
+func (q *eventQueue) Less(i, j int) bool {
+	a, b := q.items[i], q.items[j]
+	if a.next != b.next {
+		return a.next < b.next
+	}
+	return a.seq < b.seq
+}
+
+func (q *eventQueue) Swap(i, j int) {
+	q.items[i], q.items[j] = q.items[j], q.items[i]
+	q.items[i].idx = i
+	q.items[j].idx = j
+}
+
+func (q *eventQueue) Push(x any) {
+	c := x.(*Component)
+	c.idx = len(q.items)
+	q.items = append(q.items, c)
+}
+
+func (q *eventQueue) Pop() any {
+	old := q.items
+	n := len(old)
+	c := old[n-1]
+	old[n-1] = nil
+	c.idx = -1
+	q.items = old[:n-1]
+	return c
+}
+
+// schedule inserts c with its deadline already set.
+func (q *eventQueue) schedule(c *Component) {
+	c.seq = q.nextSeq
+	q.nextSeq++
+	heap.Push(q, c)
+}
+
+// unschedule removes c if it is currently queued.
+func (q *eventQueue) unschedule(c *Component) bool {
+	if c.idx < 0 || c.idx >= len(q.items) || q.items[c.idx] != c {
+		return false
+	}
+	heap.Remove(q, c.idx)
+	return true
+}
+
+// peek returns the earliest deadline, or ok == false when nothing is
+// scheduled.
+func (q *eventQueue) peek() (next float64, ok bool) {
+	if len(q.items) == 0 {
+		return 0, false
+	}
+	return q.items[0].next, true
+}
+
+// popDue collects every component due at now into buf (advancing each
+// deadline by its period) and returns the extended buffer. Components fire
+// at most once per call, in deadline-then-schedule order.
+func (q *eventQueue) popDue(now float64, buf []*Component) []*Component {
+	for len(q.items) > 0 {
+		c := q.items[0]
+		if now < c.next-1e-12 {
+			break
+		}
+		c.next += c.Period
+		// Never schedule into the past if a component was starved.
+		if c.next < now {
+			c.next = now + c.Period
+		}
+		heap.Fix(q, 0)
+		buf = append(buf, c)
+	}
+	return buf
+}

@@ -9,11 +9,17 @@
 // by writing IA32_PERF_CTL and MSR 0x620 through the msr-safe device, and
 // the daemon reads the PMU and RAPL registers. This keeps the control path
 // under study identical to the paper's.
+//
+// Execution is driven by an internal engine (engine.go): quanta run in
+// batches between component deadlines on a snapshot/commit protocol, with
+// an optional persistent worker pool sharding cores across host goroutines
+// (Config.Workers) and a min-heap event queue ordering the components.
 package machine
 
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sync"
 
 	"repro/internal/freq"
@@ -59,15 +65,18 @@ type Component struct {
 	Tick   func(now float64) (cpuTax float64)
 
 	next float64
+	seq  uint64 // scheduling order, breaks deadline ties deterministically
+	idx  int    // position in the event heap, -1 when unscheduled
 }
 
 // Machine is one simulated socket executing a workload source.
 type Machine struct {
-	cfg  Config
-	file *msr.File
-	dev  *msr.Device
-	pmu  *perfmon.PMU
-	rapl *power.Rapl
+	cfg    Config
+	file   *msr.File
+	dev    *msr.Device
+	pmu    *perfmon.PMU
+	rapl   *power.Rapl
+	engine *engine
 
 	mu          sync.Mutex
 	cores       []coreState
@@ -77,13 +86,15 @@ type Machine struct {
 	firmware    UncoreFirmware
 	now         float64
 	demandEWMA  float64 // misses/second arriving at the uncore
-	comps       []*Component
+	events      eventQueue
 	src         workload.Source
 
 	totalInstr    float64
 	totalMissL    float64
 	totalMissR    float64
 	uncoreGHzSecs float64 // ∫ uncore frequency dt, for time-weighted averages
+
+	dueBuf []*Component // reusable due-component buffer
 }
 
 // UncoreFirmware decides the uncore operating point each millisecond when
@@ -123,6 +134,14 @@ func New(cfg Config) (*Machine, error) {
 	m.pmu.InstallHandlers(m.file)
 	m.installFrequencyHandlers()
 	m.installRaplHandler()
+	m.engine = newEngine(cfg, m.pmu, m.rapl)
+	if m.engine.workers > 1 {
+		// Safety net for machines that are dropped without Close: release
+		// the worker pool when the Machine becomes unreachable. The engine
+		// deliberately holds no back-pointer to the Machine, so the workers
+		// never keep it alive.
+		runtime.AddCleanup(m, func(e *engine) { e.close() }, m.engine)
+	}
 	return m, nil
 }
 
@@ -134,6 +153,11 @@ func MustNew(cfg Config) *Machine {
 	}
 	return m
 }
+
+// Close releases the engine's persistent worker pool. It is idempotent and
+// only needed for deterministic teardown of Workers > 1 machines; machines
+// dropped without Close are cleaned up when garbage-collected.
+func (m *Machine) Close() { m.engine.close() }
 
 // SetSource attaches the workload. It must be called before Run.
 func (m *Machine) SetSource(s workload.Source) {
@@ -213,10 +237,19 @@ func (m *Machine) Schedule(c *Component, start float64) {
 	if c.Period <= 0 {
 		panic("machine: component period must be positive")
 	}
-	c.next = start
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.comps = append(m.comps, c)
+	c.next = start
+	m.events.schedule(c)
+}
+
+// Unschedule removes a component from the machine so it never ticks again.
+// It reports whether the component was scheduled. Stopping a daemon without
+// unscheduling its component leaves a dead event firing every period.
+func (m *Machine) Unschedule(c *Component) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.events.unschedule(c)
 }
 
 // Device returns the msr-safe access path software should use.
@@ -314,235 +347,178 @@ func (m *Machine) StealCoreTime(i int, sec float64) {
 // Run advances the simulation until the source reports done and every core
 // has drained its in-flight segment, or maxSim seconds have elapsed,
 // whichever comes first. It returns the elapsed simulated time.
+//
+// Run executes quanta in batches: the event queue bounds each batch at the
+// next component deadline, so the hot loop dispatches once per deadline
+// window instead of once per quantum (Config.BatchQuanta caps the window).
 func (m *Machine) Run(maxSim float64) float64 {
 	start := m.Now()
-	for m.Now()-start < maxSim {
+	deadline := start + maxSim
+	dt := m.cfg.QuantumSec
+	for {
 		if m.Finished() {
 			break
 		}
-		m.Step()
+		now := m.Now()
+		if now-start >= maxSim {
+			break
+		}
+		k := quantaUntil(now, deadline, dt)
+		if next, ok := m.nextEvent(); ok {
+			if ke := quantaUntil(now, next-1e-12, dt); ke < k {
+				k = ke
+			}
+		}
+		if bq := m.cfg.BatchQuanta; bq > 0 && k > bq {
+			k = bq
+		}
+		m.runBatch(k)
+		m.fireDue()
 	}
 	return m.Now() - start
+}
+
+// quantaUntil returns how many quanta of length dt it takes to advance from
+// now to at least target (minimum one — the driver always makes progress).
+func quantaUntil(now, target, dt float64) int {
+	k := math.Ceil((target - now) / dt)
+	if k < 1 {
+		return 1
+	}
+	if k > math.MaxInt32 {
+		return math.MaxInt32
+	}
+	return int(k)
+}
+
+func (m *Machine) nextEvent() (float64, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.events.peek()
 }
 
 // Finished reports whether the workload is complete: the source has no more
 // work and no core holds a partially executed segment.
 func (m *Machine) Finished() bool {
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.src == nil || !m.src.Done() {
-		return false
-	}
+	src := m.src
 	for i := range m.cores {
 		if m.cores[i].haveSeg {
+			m.mu.Unlock()
 			return false
 		}
 	}
-	return true
+	m.mu.Unlock()
+	return src != nil && src.Done()
 }
 
 // Step advances one quantum: execute all cores, merge accounting into the
 // PMU, integrate power into RAPL, step the firmware governor and fire due
 // components.
 func (m *Machine) Step() {
-	m.mu.Lock()
-	dt := m.cfg.QuantumSec
-	src := m.src
-	uncore := m.uncoreRatio
-	stall := m.cfg.Mem.StallPerMiss(uncore.GHz(), m.demandEWMA)
-	now := m.now
-	m.mu.Unlock()
+	m.runBatch(1)
+	m.fireDue()
+}
 
-	deltas := make([]quantumDelta, m.cfg.Cores)
-	if m.cfg.Workers > 1 {
-		m.stepCoresParallel(src, now, dt, stall, deltas)
-	} else {
-		for i := range deltas {
-			deltas[i] = m.stepCore(i, src, now, dt, stall)
-		}
-	}
-
-	var instr, missL, missR float64
-	var corePower float64
+// runBatch snapshots machine state into the engine, executes up to quanta
+// quanta lock-free, and commits the results. Between snapshot and commit no
+// component or MSR handler runs, which is what makes the lock-free core
+// stepping sound.
+func (m *Machine) runBatch(quanta int) {
+	e := m.engine
 	m.mu.Lock()
-	for i := range deltas {
-		d := &deltas[i]
-		instr += d.instr
-		missL += d.missLocal
-		missR += d.missRemote
+	for i := range m.cores {
 		c := &m.cores[i]
-		c.busySec += d.computeSec
-		c.stallSec += d.stallSec
-		c.idleSec += d.idleSec
-		// Under DDCM the stretched compute time switches transistors only
-		// duty of the time; voltage and leakage are untouched, which is
-		// the knob's classic energy disadvantage vs DVFS.
-		activity := (d.computeSec*c.duty + m.cfg.StallActivity*d.stallSec) / dt
-		corePower += m.cfg.Power.CorePower(c.ratio.GHz(), activity)
-	}
-	missRate := (missL + missR) / dt
-	a := m.cfg.TrafficAlpha
-	m.demandEWMA = a*missRate + (1-a)*m.demandEWMA
-	rho := m.cfg.Mem.Utilization(m.demandEWMA, uncore.GHz())
-	pkgPower := corePower + m.cfg.Power.UncorePower(uncore.GHz(), rho) + m.cfg.Power.Base
-	m.totalInstr += instr
-	m.totalMissL += missL
-	m.totalMissR += missR
-	m.uncoreGHzSecs += uncore.GHz() * dt
-	m.now += dt
-	nowAfter := m.now
-
-	// Firmware moves the uncore within the 0x620 range once per step.
-	if m.firmware != nil && m.uncoreMin < m.uncoreMax {
-		m.uncoreRatio = m.cfg.UncoreGrid.Clamp(m.firmware.Target(m.demandEWMA, m.uncoreMin, m.uncoreMax))
-		if m.uncoreRatio < m.uncoreMin {
-			m.uncoreRatio = m.uncoreMin
+		duty := c.duty
+		if duty <= 0 || duty > 1 {
+			duty = 1
 		}
-		if m.uncoreRatio > m.uncoreMax {
-			m.uncoreRatio = m.uncoreMax
+		e.snaps[i] = coreSnap{hz: c.ratio.Hz(), ghz: c.ratio.GHz(), duty: duty, stolen: c.stolen}
+		c.stolen = 0
+		r := coreRun{seg: c.seg, segLeft: c.segLeft, haveSeg: c.haveSeg}
+		if r.haveSeg {
+			// Refresh the cached cost coefficients for a segment carried
+			// across the batch boundary: DVFS or DDCM writes between
+			// batches must take effect on its remaining instructions.
+			ipc := r.seg.IPC
+			if ipc <= 0 {
+				ipc = m.cfg.BaseIPC
+			}
+			r.invCompute = 1 / (ipc * e.snaps[i].hz * duty)
+			r.stallCoef = r.seg.MissPerInstr * r.seg.StallFraction()
 		}
+		e.runs[i] = r
+		e.accum[i] = quantumDelta{}
 	}
-	comps := m.dueComponents(nowAfter)
+	e.src = m.src
+	e.firmware = m.firmware
+	e.dt = m.cfg.QuantumSec
+	e.now = m.now
+	e.demandEWMA = m.demandEWMA
+	e.uncore = m.uncoreRatio
+	e.uncoreMin, e.uncoreMax = m.uncoreMin, m.uncoreMax
+	e.stall = m.cfg.Mem.StallPerMiss(e.uncore.GHz(), e.demandEWMA)
+	e.quanta = quanta
+	e.quantum = 0
+	e.batchOver = false
+	e.totInstr, e.totMissL, e.totMissR, e.uncoreGHzSecs = 0, 0, 0, 0
 	m.mu.Unlock()
 
-	m.pmu.AddTor(missL, missR)
-	for i := range deltas {
-		if deltas[i].instr > 0 {
-			m.pmu.AddRetired(i, deltas[i].instr)
-		}
-	}
-	m.rapl.Deposit(pkgPower*dt, nowAfter)
+	e.run()
 
-	for _, c := range comps {
-		tax := c.Tick(nowAfter)
-		if tax > 0 {
+	// Drop the borrowed references immediately: a source or firmware that
+	// points back at the Machine would otherwise make the Machine reachable
+	// from the engine and defeat the runtime.AddCleanup safety net that
+	// releases the worker pool.
+	e.src = nil
+	e.firmware = nil
+
+	m.mu.Lock()
+	for i := range m.cores {
+		c := &m.cores[i]
+		r := &e.runs[i]
+		c.seg, c.segLeft, c.haveSeg = r.seg, r.segLeft, r.haveSeg
+		a := &e.accum[i]
+		c.busySec += a.computeSec
+		c.stallSec += a.stallSec
+		c.idleSec += a.idleSec
+	}
+	m.now = e.now
+	m.demandEWMA = e.demandEWMA
+	m.uncoreRatio = e.uncore
+	m.totalInstr += e.totInstr
+	m.totalMissL += e.totMissL
+	m.totalMissR += e.totMissR
+	m.uncoreGHzSecs += e.uncoreGHzSecs
+	m.mu.Unlock()
+
+	// Counter hardware is only observed at batch boundaries (components and
+	// software run between batches), so one deposit per batch is
+	// observation-equivalent to the former per-quantum updates — and 40×
+	// cheaper at the default Tinv.
+	if e.totMissL > 0 || e.totMissR > 0 {
+		m.pmu.AddTor(e.totMissL, e.totMissR)
+	}
+	if e.totInstr > 0 {
+		for i := range e.accum {
+			e.retired[i] = e.accum[i].instr
+		}
+		m.pmu.AddRetiredBatch(e.retired)
+	}
+}
+
+// fireDue pops every component whose deadline has passed and ticks it. The
+// machine mutex is not held across Tick: daemons write MSRs (whose handlers
+// lock) and steal core time from inside their tick.
+func (m *Machine) fireDue() {
+	m.mu.Lock()
+	now := m.now
+	m.dueBuf = m.events.popDue(now, m.dueBuf[:0])
+	due := m.dueBuf
+	m.mu.Unlock()
+	for _, c := range due {
+		if tax := c.Tick(now); tax > 0 {
 			m.StealCoreTime(c.Core, tax)
 		}
 	}
-}
-
-func (m *Machine) dueComponents(now float64) []*Component {
-	var due []*Component
-	for _, c := range m.comps {
-		if now >= c.next-1e-12 {
-			due = append(due, c)
-			c.next += c.Period
-			// Never schedule into the past if a component was starved.
-			if c.next < now {
-				c.next = now + c.Period
-			}
-		}
-	}
-	return due
-}
-
-// stepCore executes core i for one quantum and returns its accounting.
-func (m *Machine) stepCore(i int, src workload.Source, now, dt, stallPerMiss float64) quantumDelta {
-	m.mu.Lock()
-	c := &m.cores[i]
-	budget := dt - c.stolen
-	c.stolen = 0
-	ratio := c.ratio
-	duty := c.duty
-	seg := c.seg
-	segLeft := c.segLeft
-	haveSeg := c.haveSeg
-	m.mu.Unlock()
-	if duty <= 0 || duty > 1 {
-		duty = 1
-	}
-
-	var d quantumDelta
-	if budget <= 0 {
-		// The daemon ate the whole quantum (pathological Tinv); the core
-		// makes no progress and the overdraft is dropped.
-		return d
-	}
-	fHz := ratio.Hz()
-	for budget > 1e-12 {
-		if !haveSeg {
-			if src == nil {
-				break
-			}
-			var ok bool
-			seg, ok = src.NextSegment(i, now)
-			if !ok {
-				break
-			}
-			if !seg.Valid() {
-				panic(fmt.Sprintf("machine: invalid segment %v from source", seg))
-			}
-			segLeft = seg.Instructions
-			haveSeg = true
-			if segLeft <= 0 {
-				haveSeg = false
-				src.Complete(i, now)
-				continue
-			}
-		}
-		ipc := seg.IPC
-		if ipc <= 0 {
-			ipc = m.cfg.BaseIPC
-		}
-		// DDCM gating stretches issue time by 1/duty (the clock only runs
-		// duty of the time) while in-flight memory accesses drain at full
-		// speed — the knob throttles compute without touching voltage.
-		perInstrCompute := 1 / (ipc * fHz * duty)
-		perInstrStall := seg.MissPerInstr * seg.StallFraction() * stallPerMiss
-		perInstr := perInstrCompute + perInstrStall
-		instr := budget / perInstr
-		finished := false
-		if instr >= segLeft {
-			instr = segLeft
-			haveSeg = false
-			finished = true
-		}
-		segLeft -= instr
-		used := instr * perInstr
-		budget -= used
-		d.instr += instr
-		d.computeSec += instr * perInstrCompute
-		d.stallSec += instr * perInstrStall
-		miss := instr * seg.MissPerInstr
-		d.missRemote += miss * seg.RemoteFrac
-		d.missLocal += miss * (1 - seg.RemoteFrac)
-		if finished {
-			segLeft = 0
-			src.Complete(i, now)
-		}
-	}
-	d.idleSec += math.Max(0, budget)
-
-	m.mu.Lock()
-	c = &m.cores[i]
-	c.seg = seg
-	c.segLeft = segLeft
-	c.haveSeg = haveSeg
-	m.mu.Unlock()
-	return d
-}
-
-// stepCoresParallel shards cores across worker goroutines. The workload
-// source must be safe for concurrent NextSegment calls.
-func (m *Machine) stepCoresParallel(src workload.Source, now, dt, stall float64, deltas []quantumDelta) {
-	workers := m.cfg.Workers
-	if workers > len(deltas) {
-		workers = len(deltas)
-	}
-	var wg sync.WaitGroup
-	next := make(chan int, len(deltas))
-	for i := range deltas {
-		next <- i
-	}
-	close(next)
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				deltas[i] = m.stepCore(i, src, now, dt, stall)
-			}
-		}()
-	}
-	wg.Wait()
 }

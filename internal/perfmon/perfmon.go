@@ -34,6 +34,17 @@ func (p *PMU) AddRetired(core int, instr float64) {
 	p.mu.Unlock()
 }
 
+// AddRetiredBatch credits every core's fixed counter in one locked pass —
+// the simulation engine's batch-commit path, which replaces one lock
+// acquisition per core per quantum with one per batch.
+func (p *PMU) AddRetiredBatch(instr []float64) {
+	p.mu.Lock()
+	for i, v := range instr {
+		p.instRetired[i] += v
+	}
+	p.mu.Unlock()
+}
+
 // AddTor credits TOR inserts split by locality.
 func (p *PMU) AddTor(local, remote float64) {
 	p.mu.Lock()

@@ -1,0 +1,132 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestForEachRunsEveryJob(t *testing.T) {
+	var ran [100]atomic.Int32
+	err := Pool{Workers: 7}.ForEach(context.Background(), len(ran), func(_ context.Context, i int) error {
+		ran[i].Add(1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ran {
+		if got := ran[i].Load(); got != 1 {
+			t.Errorf("job %d ran %d times, want exactly once", i, got)
+		}
+	}
+}
+
+func TestForEachAggregatesAllErrors(t *testing.T) {
+	// Three jobs run concurrently and all fail; every error must appear in
+	// the result — the first-error-wins pool this replaced dropped all but
+	// one. The barrier guarantees all three are in flight before any fails.
+	wantErrs := []error{errors.New("e0"), errors.New("e1"), errors.New("e2")}
+	var barrier sync.WaitGroup
+	barrier.Add(3)
+	err := Pool{Workers: 3}.ForEach(context.Background(), 3, func(_ context.Context, i int) error {
+		barrier.Done()
+		barrier.Wait()
+		return wantErrs[i]
+	})
+	if err == nil {
+		t.Fatal("want aggregated error, got nil")
+	}
+	for _, want := range wantErrs {
+		if !errors.Is(err, want) {
+			t.Errorf("aggregated error %v should wrap %v", err, want)
+		}
+	}
+	// Index order: e0 before e1 before e2.
+	s := err.Error()
+	if strings.Index(s, "e0") > strings.Index(s, "e1") || strings.Index(s, "e1") > strings.Index(s, "e2") {
+		t.Errorf("errors not in index order: %q", s)
+	}
+}
+
+func TestForEachFailureStopsDispatch(t *testing.T) {
+	var started atomic.Int32
+	err := Pool{Workers: 1}.ForEach(context.Background(), 1000, func(_ context.Context, i int) error {
+		started.Add(1)
+		if i == 4 {
+			return fmt.Errorf("boom at %d", i)
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if n := started.Load(); n > 6 {
+		t.Errorf("%d jobs started after failure at job 4; dispatch should stop", n)
+	}
+}
+
+func TestForEachExternalCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int32
+	var once sync.Once
+	err := Pool{Workers: 2}.ForEach(ctx, 1000, func(ctx context.Context, i int) error {
+		started.Add(1)
+		once.Do(cancel)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled in %v", err)
+	}
+	if n := started.Load(); n >= 1000 {
+		t.Error("cancellation did not stop dispatch")
+	}
+}
+
+func TestForEachBoundsConcurrency(t *testing.T) {
+	const bound = 3
+	var inFlight, peak atomic.Int32
+	err := Pool{Workers: bound}.ForEach(context.Background(), 64, func(_ context.Context, i int) error {
+		cur := inFlight.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		inFlight.Add(-1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > bound {
+		t.Errorf("peak concurrency %d exceeds bound %d", p, bound)
+	}
+}
+
+func TestGo(t *testing.T) {
+	var a, b atomic.Bool
+	err := Pool{}.Go(context.Background(),
+		func(context.Context) error { a.Store(true); return nil },
+		func(context.Context) error { b.Store(true); return errors.New("second failed") },
+	)
+	if !a.Load() || !b.Load() {
+		t.Error("not all functions ran")
+	}
+	if err == nil || !strings.Contains(err.Error(), "second failed") {
+		t.Errorf("error not propagated: %v", err)
+	}
+}
+
+func TestForEachZeroJobs(t *testing.T) {
+	if err := (Pool{}).ForEach(context.Background(), 0, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -46,6 +46,7 @@ type WorkStealing struct {
 	deques  []deque
 	current []Task // task executing on each core
 	running []bool
+	queued  int // tasks sitting in deques (released, not yet picked up)
 	pending int // tasks released but not completed in this round
 	round   int
 	done    bool
@@ -97,6 +98,7 @@ func (w *WorkStealing) startRoundLocked() {
 	for i, t := range roots {
 		w.deques[i%w.cores].pushBottom(t)
 	}
+	w.queued += len(roots)
 	w.pending = len(roots)
 }
 
@@ -106,7 +108,10 @@ func (w *WorkStealing) startRoundLocked() {
 func (w *WorkStealing) NextSegment(core int, now float64) (workload.Segment, bool) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	if w.done {
+	if w.done || w.queued == 0 {
+		// Nothing anywhere to pop or steal: fail fast without burning RNG
+		// draws on victim selection. Idle cores poll every quantum, so this
+		// path dominates ramp-up and finish-barrier drains.
 		return workload.Segment{}, false
 	}
 	t, ok := w.deques[core].popBottom()
@@ -118,6 +123,7 @@ func (w *WorkStealing) NextSegment(core int, now float64) (workload.Segment, boo
 	if !ok {
 		return workload.Segment{}, false
 	}
+	w.queued--
 	w.current[core] = t
 	w.running[core] = true
 	w.tasksRun++
@@ -164,6 +170,7 @@ func (w *WorkStealing) Complete(core int, now float64) {
 		for _, c := range children {
 			w.deques[core].pushBottom(c)
 		}
+		w.queued += len(children)
 		w.pending += len(children)
 	}
 	w.pending--
