@@ -1,23 +1,32 @@
 // Command cuttlefish regenerates the paper's evaluation: every table and
-// figure has a subcommand that prints the corresponding rows or series.
+// figure has a subcommand that renders the corresponding report.
 //
 // Usage:
 //
-//	cuttlefish [flags] <experiment>
+//	cuttlefish [flags] <experiment> [flags]
 //
-// Experiments: table1, fig2, fig3a, fig3b, fig10, fig11, table2, table3, all
+// Experiments: table1, fig2, fig3a, fig3b, fig10, fig11, table2, table3,
+// ablation, ddcm, oracle, all
 //
-// Flags select the run scale (1.0 = the paper's 60–80 s executions),
-// repetition count and seeds; defaults finish the full set in minutes.
+// Flags may appear before or after the experiment name. -governor runs the
+// single-environment experiments (table1) under any registered strategy;
+// -format renders every report as text, json or csv. The remaining flags
+// select the run scale (1.0 = the paper's 60–80 s executions), repetition
+// count and seeds; defaults finish the full set in minutes.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/governor"
+	"repro/internal/report"
 )
+
+var format = "text"
 
 func main() {
 	opt := experiments.DefaultOptions()
@@ -29,24 +38,52 @@ func main() {
 	flag.IntVar(&opt.Workers, "workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
 	flag.IntVar(&opt.SimWorkers, "simworkers", 0, "engine workers sharding each simulated machine's cores (0/1 = serial)")
 	flag.IntVar(&opt.BatchQuanta, "batch", 0, "max quanta per engine dispatch (0 = run to next event)")
+	flag.StringVar(&opt.Governor, "governor", "", "registered governor for single-environment experiments (default: each experiment's paper environment; see -list-governors)")
+	flag.StringVar(&format, "format", format, "report format: text | json | csv")
+	listGov := flag.Bool("list-governors", false, "list registered governors and exit")
 	flag.Usage = usage
 	flag.Parse()
-	if flag.NArg() != 1 {
+	if *listGov {
+		fmt.Println(strings.Join(governor.Names(), "\n"))
+		return
+	}
+	if flag.NArg() < 1 {
 		usage()
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), opt); err != nil {
+	name := flag.Arg(0)
+	// Flags are accepted after the experiment name too:
+	// `cuttlefish table1 -scale 0.02 -format json`.
+	if rest := flag.Args()[1:]; len(rest) > 0 {
+		if err := flag.CommandLine.Parse(rest); err != nil {
+			os.Exit(2)
+		}
+		if flag.NArg() != 0 {
+			fmt.Fprintf(os.Stderr, "cuttlefish: unexpected arguments %v\n", flag.Args())
+			usage()
+			os.Exit(2)
+		}
+		if *listGov {
+			fmt.Println(strings.Join(governor.Names(), "\n"))
+			return
+		}
+	}
+	if !report.ValidFormat(format) {
+		fmt.Fprintf(os.Stderr, "cuttlefish: unknown format %q (want text, json or csv)\n", format)
+		os.Exit(2)
+	}
+	if err := run(name, opt, format); err != nil {
 		fmt.Fprintf(os.Stderr, "cuttlefish: %v\n", err)
 		os.Exit(1)
 	}
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, `usage: cuttlefish [flags] <experiment>
+	fmt.Fprintf(os.Stderr, `usage: cuttlefish [flags] <experiment> [flags]
 
 experiments:
   table1   benchmark census (time, TIPI range, slab counts)
-  fig2     TIPI and JPI execution timelines (CSV per benchmark)
+  fig2     TIPI and JPI execution timelines
   fig3a    JPI per frequent TIPI at CF {1.2, 1.8, 2.3} GHz, UF max
   fig3b    JPI per frequent TIPI at UF {1.2, 2.1, 3.0} GHz, CF max
   fig10    OpenMP: energy / time / EDP vs Default for all three policies
@@ -58,226 +95,114 @@ experiments:
   oracle   daemon's chosen optima vs exhaustive (CF,UF) sweep
   all      everything above in sequence
 
-flags:
-`)
+strategies are constructed through the governor registry; -governor swaps
+the execution environment of single-environment experiments (table1), e.g.
+  cuttlefish -governor=powersave table1 -format json
+registered: %s
+
+flags (before or after the experiment):
+`, strings.Join(governor.Names(), ", "))
 	flag.PrintDefaults()
 }
 
-func run(name string, opt experiments.Options) error {
-	switch name {
-	case "table1":
-		return table1(opt)
-	case "fig2":
-		return fig2(opt)
-	case "fig3a":
-		return fig3(opt, true)
-	case "fig3b":
-		return fig3(opt, false)
-	case "fig10":
-		cmp, err := experiments.Fig10(opt)
-		if err != nil {
+// run executes one experiment and renders its report in the chosen format.
+func run(name string, opt experiments.Options, format string) error {
+	if opt.Governor != "" {
+		// Fail fast on typos before burning simulation time.
+		if _, err := governor.New(opt.Governor, governor.Tuning{}); err != nil {
 			return err
 		}
-		printComparison("Figure 10 (OpenMP)", cmp)
-		return nil
-	case "fig11":
-		cmp, err := experiments.Fig11(opt)
-		if err != nil {
-			return err
-		}
-		printComparison("Figure 11 (HClib)", cmp)
-		return nil
-	case "table2":
-		return table2(opt)
-	case "table3":
-		return table3(opt)
-	case "ablation":
-		return ablation(opt)
-	case "ddcm":
-		return ddcm(opt)
-	case "oracle":
-		return oracle(opt)
-	case "all":
+	}
+	if name == "all" {
 		for _, e := range []string{"table1", "fig2", "fig3a", "fig3b", "fig10", "fig11", "table2", "table3", "ablation", "ddcm"} {
-			if err := run(e, opt); err != nil {
+			if err := run(e, opt, format); err != nil {
 				return err
 			}
 			fmt.Println()
 		}
 		return nil
-	default:
-		return fmt.Errorf("unknown experiment %q", name)
 	}
-}
-
-func table1(opt experiments.Options) error {
-	rows, err := experiments.Table1(opt)
+	rep, err := build(name, opt)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("Table 1: benchmark census (scale %.2f, Default environment)\n", opt.Scale)
-	fmt.Printf("%-10s %-16s %9s %15s %9s %9s\n", "Benchmark", "Style", "Time(s)", "TIPI range", "Distinct", "Frequent")
-	for _, r := range rows {
-		fmt.Printf("%-10s %-16s %9.1f %7.3f-%-7.3f %9d %9d\n",
-			r.Name, r.Style, r.Seconds, r.TIPIMin, r.TIPIMax, r.Distinct, r.Frequent)
-	}
-	return nil
+	return rep.Write(os.Stdout, format)
 }
 
-func fig2(opt experiments.Options) error {
-	recs, err := experiments.Fig2(opt)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("Figure 2: TIPI and JPI timelines at max CF/UF (CSV)\n")
-	for _, name := range experiments.Fig2Benchmarks {
-		fmt.Printf("## %s\n", name)
-		if err := recs[name].WriteCSV(os.Stdout); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-func fig3(opt experiments.Options, sweepCF bool) error {
-	var pts []experiments.Fig3Point
-	var err error
-	if sweepCF {
-		fmt.Println("Figure 3(a): average JPI of frequent TIPI slabs, UF = 3.0 GHz")
-		pts, err = experiments.Fig3a(opt)
-	} else {
-		fmt.Println("Figure 3(b): average JPI of frequent TIPI slabs, CF = 2.3 GHz")
-		pts, err = experiments.Fig3b(opt)
-	}
-	if err != nil {
-		return err
-	}
-	fmt.Printf("%-10s %-9s %-13s %8s %12s\n", "Benchmark", "Setting", "TIPI slab", "Share%", "JPI (nJ)")
-	for _, p := range pts {
-		fmt.Printf("%-10s %-9s %-13s %8.1f %12.3f\n",
-			p.Bench, p.Setting, p.Slab.Format(0.004), p.SharePct, p.JPI*1e9)
-	}
-	return nil
-}
-
-func printComparison(title string, cmp experiments.Comparison) {
-	policies := experiments.CuttlefishPolicies
-	fmt.Printf("%s: relative to Default (positive = better for energy/EDP, worse for time)\n", title)
-	header := fmt.Sprintf("%-10s", "Benchmark")
-	for _, p := range policies {
-		header += fmt.Sprintf(" | %-24s", p)
-	}
-	fmt.Println(header)
-	fmt.Printf("%-10s", "")
-	for range policies {
-		fmt.Printf(" | %7s %7s %8s", "energy%", "time%", "edp%")
-	}
-	fmt.Println()
-	for _, row := range cmp.Rows {
-		fmt.Printf("%-10s", row.Bench)
-		for _, p := range policies {
-			fmt.Printf(" | %6.1f± %-5.1f%5.1f %8.1f",
-				row.EnergySavings[p].Mean, row.EnergySavings[p].CI,
-				row.Slowdown[p].Mean, row.EDPSavings[p].Mean)
-		}
-		fmt.Println()
-	}
-	fmt.Printf("%-10s", "geomean")
-	for _, p := range policies {
-		fmt.Printf(" | %6.1f        %5.1f %8.1f",
-			cmp.GeoEnergySavings[p], cmp.GeoSlowdown[p], cmp.GeoEDPSavings[p])
-	}
-	fmt.Println()
-}
-
-func table2(opt experiments.Options) error {
-	rows, err := experiments.Table2(opt)
-	if err != nil {
-		return err
-	}
-	fmt.Println("Table 2: Cuttlefish CFopt/UFopt for frequent TIPI ranges vs Default")
-	fmt.Printf("%-10s %6s %6s  %-13s %7s %7s %7s %7s %7s\n",
-		"Benchmark", "CF%res", "UF%res", "Freq. slab", "Share%", "CFopt", "UFopt", "DefCF", "DefUF")
-	for _, r := range rows {
-		first := true
-		if len(r.Frequent) == 0 {
-			fmt.Printf("%-10s %5.0f%% %5.0f%%  %-13s\n", r.Bench, r.PctCFResolved, r.PctUFResolved, "(none)")
-			continue
-		}
-		for _, f := range r.Frequent {
-			name, cfres, ufres := "", "", ""
-			if first {
-				name = r.Bench
-				cfres = fmt.Sprintf("%4.0f%%", r.PctCFResolved)
-				ufres = fmt.Sprintf("%4.0f%%", r.PctUFResolved)
-			}
-			cf, uf := "-", "-"
-			if f.CFOptGHz > 0 {
-				cf = fmt.Sprintf("%.1f", f.CFOptGHz)
-			}
-			if f.UFOptGHz > 0 {
-				uf = fmt.Sprintf("%.1f", f.UFOptGHz)
-			}
-			fmt.Printf("%-10s %6s %6s  %-13s %6.0f%% %7s %7s %7.1f %7.1f\n",
-				name, cfres, ufres, f.Range, f.SharePct, cf, uf, r.DefaultCFGHz, r.DefaultUFGHz)
-			first = false
-		}
-	}
-	return nil
-}
-
-func ablation(opt experiments.Options) error {
-	rows, err := experiments.Ablation(nil, opt)
-	if err != nil {
-		return err
-	}
-	fmt.Println("Ablation: cost of removing the exploration-range optimisations")
-	fmt.Printf("%-10s %-18s %10s %10s %9s %9s\n",
-		"Benchmark", "Variant", "Explore%", "Resolved%", "Savings%", "Slowdown%")
-	for _, r := range rows {
-		fmt.Printf("%-10s %-18s %10.1f %10.1f %9.1f %9.1f\n",
-			r.Bench, r.Variant, r.ExplorationPct, r.ResolvedPct, r.EnergySavingsPct, r.SlowdownPct)
-	}
-	return nil
-}
-
-func ddcm(opt experiments.Options) error {
-	rows, err := experiments.DDCMStudy(nil, opt)
-	if err != nil {
-		return err
-	}
-	fmt.Println("DVFS vs DDCM at matched ~70% compute throttle (uncore pinned 2.2 GHz)")
-	fmt.Printf("%-10s %12s %12s %12s %12s\n", "Benchmark", "DVFS sav%", "DVFS slow%", "DDCM sav%", "DDCM slow%")
-	for _, r := range rows {
-		fmt.Printf("%-10s %12.1f %12.1f %12.1f %12.1f\n",
-			r.Bench, r.DVFSEnergySavings, r.DVFSSlowdown, r.DDCMEnergySavings, r.DDCMSlowdown)
-	}
-	return nil
-}
-
-func oracle(opt experiments.Options) error {
-	fmt.Println("Oracle: daemon optima vs exhaustive frequency sweep (dominant slab)")
-	fmt.Printf("%-10s %14s %14s %8s\n", "Benchmark", "best (CF/UF)", "chosen (CF/UF)", "JPI gap")
-	for _, name := range []string{"UTS", "SOR-irt", "Heat-irt", "MiniFE"} {
-		r, err := experiments.Oracle(name, opt, 1, 2)
+// build runs the named experiment and converts its rows to a report.
+func build(name string, opt experiments.Options) (*report.RunReport, error) {
+	switch name {
+	case "table1":
+		rows, err := experiments.Table1(opt)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		fmt.Printf("%-10s %6s/%-7s %6s/%-7s %7.1f%%\n",
-			r.Bench, r.BestJPI.CF, r.BestJPI.UF, r.Chosen.CF, r.Chosen.UF, r.GapPct)
+		return experiments.Table1Report(rows, opt), nil
+	case "fig2":
+		recs, err := experiments.Fig2(opt)
+		if err != nil {
+			return nil, err
+		}
+		return experiments.Fig2Report(recs, opt), nil
+	case "fig3a":
+		pts, err := experiments.Fig3a(opt)
+		if err != nil {
+			return nil, err
+		}
+		return experiments.Fig3Report("fig3a", "Figure 3(a): average JPI of frequent TIPI slabs, UF = 3.0 GHz", pts, opt), nil
+	case "fig3b":
+		pts, err := experiments.Fig3b(opt)
+		if err != nil {
+			return nil, err
+		}
+		return experiments.Fig3Report("fig3b", "Figure 3(b): average JPI of frequent TIPI slabs, CF = 2.3 GHz", pts, opt), nil
+	case "fig10":
+		cmp, err := experiments.Fig10(opt)
+		if err != nil {
+			return nil, err
+		}
+		return experiments.ComparisonReport("fig10", "Figure 10 (OpenMP)", cmp), nil
+	case "fig11":
+		cmp, err := experiments.Fig11(opt)
+		if err != nil {
+			return nil, err
+		}
+		return experiments.ComparisonReport("fig11", "Figure 11 (HClib)", cmp), nil
+	case "table2":
+		rows, err := experiments.Table2(opt)
+		if err != nil {
+			return nil, err
+		}
+		return experiments.Table2Report(rows, opt), nil
+	case "table3":
+		rows, err := experiments.Table3(opt, nil)
+		if err != nil {
+			return nil, err
+		}
+		return experiments.Table3Report(rows, opt), nil
+	case "ablation":
+		rows, err := experiments.Ablation(nil, opt)
+		if err != nil {
+			return nil, err
+		}
+		return experiments.AblationReport(rows, opt), nil
+	case "ddcm":
+		rows, err := experiments.DDCMStudy(nil, opt)
+		if err != nil {
+			return nil, err
+		}
+		return experiments.DDCMReport(rows, opt), nil
+	case "oracle":
+		var rows []experiments.OracleResult
+		for _, b := range []string{"UTS", "SOR-irt", "Heat-irt", "MiniFE"} {
+			r, err := experiments.Oracle(b, opt, 1, 2)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, r)
+		}
+		return experiments.OracleReport(rows, opt), nil
+	default:
+		return nil, fmt.Errorf("unknown experiment %q", name)
 	}
-	return nil
-}
-
-func table3(opt experiments.Options) error {
-	rows, err := experiments.Table3(opt, nil)
-	if err != nil {
-		return err
-	}
-	fmt.Println("Table 3: Tinv sensitivity (geomean over OpenMP benchmarks)")
-	fmt.Printf("%8s %15s %10s\n", "Tinv", "EnergySavings", "Slowdown")
-	for _, r := range rows {
-		fmt.Printf("%6.0fms %14.1f%% %9.1f%%\n", r.TinvSec*1e3, r.EnergySavings, r.Slowdown)
-	}
-	return nil
 }

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func tinyOptions() experiments.Options {
+	o := experiments.DefaultOptions()
+	o.Scale = 0.02
+	o.Reps = 1
+	return o
+}
+
+// TestRunRejectsUnknownGovernor is the CLI-side registry check: a typo in
+// -governor must fail fast, before any simulation runs.
+func TestRunRejectsUnknownGovernor(t *testing.T) {
+	o := tinyOptions()
+	o.Governor = "turbo-boost"
+	if err := run("table1", o, "json"); err == nil {
+		t.Error("unknown -governor must error")
+	}
+}
+
+func TestRunRejectsUnknownExperiment(t *testing.T) {
+	if err := run("table9", tinyOptions(), "text"); err == nil {
+		t.Error("unknown experiment must error")
+	}
+}
+
+// TestTable1ReportEncodesAcrossGovernors backs the acceptance criterion:
+// `cuttlefish -governor=<name> table1 -format json` must produce valid
+// JSON for every registered environment the comparison covers.
+func TestTable1ReportEncodesAcrossGovernors(t *testing.T) {
+	for _, gov := range []string{"cuttlefish", "cuttlefish-core", "cuttlefish-uncore", "default", "static", "ddcm"} {
+		o := tinyOptions()
+		o.Governor = gov
+		rep, err := build("table1", o)
+		if err != nil {
+			t.Fatalf("%s: %v", gov, err)
+		}
+		if rep.Governor != gov {
+			t.Errorf("report governor = %q, want %q", rep.Governor, gov)
+		}
+		if len(rep.Rows) != 10 {
+			t.Errorf("%s: rows = %d, want 10", gov, len(rep.Rows))
+		}
+		raw, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", gov, err)
+		}
+		if !json.Valid(raw) {
+			t.Errorf("%s: invalid JSON", gov)
+		}
+	}
+}

@@ -9,12 +9,22 @@
 // deterministic multicore simulator standing in for the paper's 20-core
 // Haswell (see DESIGN.md for the substitution argument).
 //
-// The programmer-facing surface mirrors the paper's two-call API:
+// The programmer-facing surface mirrors the paper's two-call API, with
+// functional options in place of configuration structs:
 //
-//	m := cuttlefish.NewMachine(cuttlefish.DefaultMachineConfig())
-//	session, _ := cuttlefish.Start(m, cuttlefish.DefaultDaemonConfig())
+//	m, _ := cuttlefish.NewMachine()
+//	session, _ := cuttlefish.Start(m)   // the paper's cuttlefish::start()
 //	// ... run a parallel workload on m ...
-//	session.Stop()
+//	session.Stop()                      // cuttlefish::stop()
+//
+// Every frequency-control strategy — the paper's three Cuttlefish variants,
+// the Default environment (performance governor + firmware Auto uncore),
+// fixed-frequency pins, DDCM throttling and the reactive Linux-style
+// governors — is a Governor registered by name; Start attaches whichever
+// one WithGovernor (or WithPolicy) selects, and RegisterGovernor adds new
+// scenarios without touching any harness:
+//
+//	session, _ := cuttlefish.Start(m, cuttlefish.WithGovernor("ondemand"))
 //
 // Everything else — the MSR file, RAPL, the PMU, the parallel runtimes, the
 // Table 1 benchmarks and the per-figure experiment harnesses — lives in the
@@ -26,9 +36,9 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/core"
+	"repro/internal/freq"
 	"repro/internal/governor"
 	"repro/internal/machine"
-	"repro/internal/msr"
 	"repro/internal/sched"
 	"repro/internal/workload"
 )
@@ -40,15 +50,13 @@ type Machine = machine.Machine
 // engine's knobs: Workers shards the socket's cores across that many
 // persistent host goroutines, and BatchQuanta caps how many quanta the
 // engine runs per dispatch between component deadlines (0 = run to the
-// next event). cmd/cfsim and cmd/cuttlefish expose both as flags.
+// next event). Most callers never touch it — NewMachine's options cover
+// the common knobs and WithMachineConfig is the escape hatch.
 type MachineConfig = machine.Config
 
 // DefaultMachineConfig returns the paper's evaluation machine: a 20-core
 // Haswell-class socket, core DVFS 1.2–2.3 GHz, uncore UFS 1.2–3.0 GHz.
 func DefaultMachineConfig() MachineConfig { return machine.DefaultConfig() }
-
-// NewMachine builds a simulated socket.
-func NewMachine(cfg MachineConfig) (*Machine, error) { return machine.New(cfg) }
 
 // Policy selects which frequency domains the daemon adapts — the paper's
 // three build-time variants.
@@ -61,12 +69,134 @@ const (
 	PolicyUncoreOnly = core.PolicyUncoreOnly
 )
 
-// DaemonConfig parametrises the daemon (Tinv, warmup, slab width, policy).
-type DaemonConfig = core.Config
+// Governor is one frequency-control strategy: Attach installs it on a
+// machine (saving the MSR state it will touch) and the returned
+// attachment's Detach restores everything. All strategies — built-in and
+// user-registered — are constructed by name through the registry.
+type Governor = governor.Governor
 
-// DefaultDaemonConfig returns the paper's deployment defaults: both-domain
-// policy, Tinv = 20 ms, 2 s warmup, 0.004 TIPI slabs.
-func DefaultDaemonConfig() DaemonConfig { return core.DefaultConfig() }
+// GovernorTuning carries the per-run parameters a strategy may honour;
+// see the Option helpers for the usual way to set them.
+type GovernorTuning = governor.Tuning
+
+// GovernorFactory builds a governor from per-run tuning.
+type GovernorFactory = governor.Factory
+
+// The built-in governor names.
+const (
+	// GovernorDefault is the paper's baseline environment: performance
+	// governor plus firmware Auto uncore.
+	GovernorDefault = governor.Default
+	// GovernorCuttlefish and friends are the paper's three library builds.
+	GovernorCuttlefish       = governor.Cuttlefish
+	GovernorCuttlefishCore   = governor.CuttlefishCore
+	GovernorCuttlefishUncore = governor.CuttlefishUncore
+	// GovernorStatic pins both domains at fixed ratios.
+	GovernorStatic = governor.Static
+	// GovernorDDCM throttles with duty-cycle modulation at full voltage.
+	GovernorDDCM = governor.DDCM
+	// GovernorPowersave pins both domains at their minima.
+	GovernorPowersave = governor.Powersave
+	// GovernorOndemand reacts to sampled per-core throughput.
+	GovernorOndemand = governor.Ondemand
+)
+
+// Governors lists the registered strategy names, sorted.
+func Governors() []string { return governor.Names() }
+
+// RegisterGovernor adds a named strategy to the registry; duplicate names
+// are rejected. Registered strategies become reachable from Start, every
+// experiment harness, the cluster and both CLIs.
+func RegisterGovernor(name string, f GovernorFactory) error { return governor.Register(name, f) }
+
+// NewGovernor constructs a registered strategy by name, honouring the
+// tuning options (WithTinv, WithWarmup, WithStatic, …).
+func NewGovernor(name string, opts ...Option) (Governor, error) {
+	cfg := newConfig(opts)
+	return governor.New(name, cfg.tuning)
+}
+
+// config is the resolved state behind the functional options.
+type config struct {
+	machine    machine.Config
+	tuning     governor.Tuning
+	governor   string
+	havePolicy bool
+	policy     Policy
+}
+
+func newConfig(opts []Option) *config {
+	cfg := &config{machine: machine.DefaultConfig(), governor: governor.Cuttlefish}
+	for _, o := range opts {
+		o(cfg)
+	}
+	if cfg.havePolicy {
+		switch cfg.policy {
+		case core.PolicyCoreOnly:
+			cfg.governor = governor.CuttlefishCore
+		case core.PolicyUncoreOnly:
+			cfg.governor = governor.CuttlefishUncore
+		default:
+			cfg.governor = governor.Cuttlefish
+		}
+	}
+	return cfg
+}
+
+// Option configures NewMachine, Start and NewGovernor. Options that do not
+// apply to a call are ignored, so one option set can configure a whole run.
+type Option func(*config)
+
+// WithCores sets the simulated core count (default: the paper's 20).
+func WithCores(n int) Option { return func(c *config) { c.machine.Cores = n } }
+
+// WithWorkers shards the simulated socket's cores across n persistent
+// engine goroutines (0/1 = serial). Results are bit-identical across
+// worker counts.
+func WithWorkers(n int) Option { return func(c *config) { c.machine.Workers = n } }
+
+// WithBatchQuanta caps how many quanta the engine runs per dispatch
+// (0 = run to the next component deadline).
+func WithBatchQuanta(n int) Option { return func(c *config) { c.machine.BatchQuanta = n } }
+
+// WithMachineConfig replaces the whole machine configuration — the escape
+// hatch for non-default grids or power models. Options apply in argument
+// order, so later WithCores/WithWorkers still win over it.
+func WithMachineConfig(cfg MachineConfig) Option {
+	return func(c *config) { c.machine = cfg }
+}
+
+// WithGovernor selects the registered strategy Start attaches
+// (default: "cuttlefish").
+func WithGovernor(name string) Option { return func(c *config) { c.governor = name } }
+
+// WithPolicy selects the Cuttlefish build variant, the paper's three
+// compile-time policies. It is shorthand for WithGovernor on the matching
+// variant name.
+func WithPolicy(p Policy) Option { return func(c *config) { c.policy = p; c.havePolicy = true } }
+
+// WithTinv sets the daemon's profiling interval in seconds (default: the
+// paper's 20 ms) — also the ondemand governor's sampling period.
+func WithTinv(sec float64) Option { return func(c *config) { c.tuning.TinvSec = sec } }
+
+// WithWarmup sets the daemon's warmup in seconds (default: the paper's
+// 2 s); negative disables the warmup.
+func WithWarmup(sec float64) Option { return func(c *config) { c.tuning.WarmupSec = sec } }
+
+// WithStatic pins the static governor's core and uncore frequency ratios
+// (multiples of 100 MHz, e.g. 16 = 1.6 GHz; 0 = the grid maximum). Attach
+// clamps the pins into the machine's grids.
+func WithStatic(cfRatio, ufRatio int) Option {
+	return func(c *config) {
+		c.tuning.CF, c.tuning.UF = freq.Ratio(min(max(cfRatio, 0), 255)), freq.Ratio(min(max(ufRatio, 0), 255))
+	}
+}
+
+// NewMachine builds a simulated socket from the options (WithCores,
+// WithWorkers, WithBatchQuanta, WithMachineConfig).
+func NewMachine(opts ...Option) (*Machine, error) {
+	return machine.New(newConfig(opts).machine)
+}
 
 // Benchmark describes one of the paper's Table 1 workloads.
 type Benchmark = bench.Spec
@@ -89,58 +219,45 @@ func Benchmarks() []Benchmark { return bench.All() }
 // BenchmarkByName fetches a benchmark by its Table 1 name (e.g. "Heat-irt").
 func BenchmarkByName(name string) (Benchmark, bool) { return bench.Get(name) }
 
-// Session is a running Cuttlefish instance: the daemon thread plus the MSR
-// save/restore bracket, created by Start and ended by Stop — the paper's
-// cuttlefish::start()/cuttlefish::stop() pair.
+// Session is an attached governor: for the default Cuttlefish governor,
+// the daemon thread plus the MSR save/restore bracket — the paper's
+// cuttlefish::start()/cuttlefish::stop() pair. Any registered governor
+// runs behind the same Session surface.
 type Session struct {
-	daemon *core.Daemon
-	dev    *msr.Device
-	m      *Machine
-	comp   *machine.Component
-	done   bool
+	name string
+	att  *governor.Attachment
 }
 
-// Start attaches Cuttlefish to the machine: the current MSR state is saved
-// (msr-safe style), the daemon is created pinned to its core, both
-// frequency domains are raised to maximum, and the daemon is scheduled
-// every Tinv starting after its warmup.
-func Start(m *Machine, cfg DaemonConfig) (*Session, error) {
-	dev := m.Device()
-	dev.Save()
-	now := m.Now()
-	d, err := core.NewDaemon(cfg, dev, m.Config().Cores, m.Config().CoreGrid, m.Config().UncoreGrid, now)
+// Start attaches the selected governor to the machine. For the Cuttlefish
+// variants that means: the current MSR state is saved (msr-safe style),
+// the daemon is created pinned to its core, both frequency domains are
+// raised to maximum, and the daemon is scheduled every Tinv starting after
+// its warmup.
+func Start(m *Machine, opts ...Option) (*Session, error) {
+	cfg := newConfig(opts)
+	g, err := governor.New(cfg.governor, cfg.tuning)
 	if err != nil {
 		return nil, fmt.Errorf("cuttlefish: %w", err)
 	}
-	comp := &machine.Component{
-		Period: cfg.TinvSec,
-		Core:   cfg.PinnedCore,
-		Tick:   d.Tick,
+	att, err := g.Attach(m)
+	if err != nil {
+		return nil, fmt.Errorf("cuttlefish: %w", err)
 	}
-	m.Schedule(comp, now+cfg.TinvSec)
-	return &Session{daemon: d, dev: dev, m: m, comp: comp}, nil
+	return &Session{name: g.Name(), att: att}, nil
 }
 
-// Stop shuts the daemon down, removes its component from the machine's
-// event queue (so nothing keeps firing — or stealing core time — after the
-// session ends) and restores the MSR state captured at Start. It is
-// idempotent.
-func (s *Session) Stop() error {
-	if s.done {
-		return nil
-	}
-	s.done = true
-	s.daemon.Stop()
-	s.m.Unschedule(s.comp)
-	if err := s.daemon.Err(); err != nil {
-		return fmt.Errorf("cuttlefish: daemon failed during run: %w", err)
-	}
-	return s.dev.Restore()
-}
+// Stop detaches the governor: the daemon (if any) is halted and removed
+// from the machine's event queue, and the MSR state captured at Start is
+// restored — unconditionally, so a failed daemon never leaks pinned
+// frequencies; its error is still reported. Stop is idempotent.
+func (s *Session) Stop() error { return s.att.Detach() }
+
+// Governor returns the attached strategy's registered name.
+func (s *Session) Governor() string { return s.name }
 
 // Daemon exposes the runtime's exploration state (slab list, sample count)
-// for reporting.
-func (s *Session) Daemon() *core.Daemon { return s.daemon }
+// for reporting; nil for governors that run without a daemon.
+func (s *Session) Daemon() *core.Daemon { return s.att.Daemon() }
 
 // Segment is the unit of simulated work: instructions with an LLC-miss
 // density (the quantity TIPI measures), an IPC and a prefetch exposure.
@@ -187,15 +304,3 @@ type Partition = workload.Partition
 
 // NewPartition creates an empty core partition.
 func NewPartition() *Partition { return workload.NewPartition() }
-
-// ApplyDefaultEnvironment configures the machine the way the paper's
-// Default executions run: the performance governor pins every core at
-// maximum and the firmware's Auto mode drives the uncore from memory
-// traffic.
-func ApplyDefaultEnvironment(m *Machine) error {
-	if err := governor.Apply(governor.Performance, m.Device(), m.Config().Cores, m.Config().CoreGrid); err != nil {
-		return err
-	}
-	m.SetFirmware(governor.DefaultAutoUFS())
-	return nil
-}

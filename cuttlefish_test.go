@@ -15,13 +15,11 @@ func runPolicy(t *testing.T, name string, policy Policy, scale float64) (*Sessio
 	if !ok {
 		t.Fatalf("unknown benchmark %s", name)
 	}
-	m, err := NewMachine(DefaultMachineConfig())
+	m, err := NewMachine()
 	if err != nil {
 		t.Fatal(err)
 	}
-	cfg := DefaultDaemonConfig()
-	cfg.Policy = policy
-	sess, err := Start(m, cfg)
+	sess, err := Start(m, WithPolicy(policy))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,11 +42,11 @@ func runPolicy(t *testing.T, name string, policy Policy, scale float64) (*Sessio
 func runDefaultEnv(t *testing.T, name string, scale float64) (float64, float64) {
 	t.Helper()
 	spec, _ := BenchmarkByName(name)
-	m, err := NewMachine(DefaultMachineConfig())
+	m, err := NewMachine()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := ApplyDefaultEnvironment(m); err != nil {
+	if _, err := Start(m, WithGovernor(GovernorDefault)); err != nil {
 		t.Fatal(err)
 	}
 	src, err := spec.Build(BenchmarkParams{Cores: m.Config().Cores, Scale: scale, Seed: 11})
@@ -163,8 +161,8 @@ func TestUncoreOnlyBeatsCoreOnlyOnComputeBound(t *testing.T) {
 
 func TestStopRestoresFrequencies(t *testing.T) {
 	spec, _ := BenchmarkByName("Heat-irt")
-	m, _ := NewMachine(DefaultMachineConfig())
-	sess, err := Start(m, DefaultDaemonConfig())
+	m, _ := NewMachine()
+	sess, err := Start(m)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -202,8 +200,8 @@ func TestStopUnschedulesDaemonComponent(t *testing.T) {
 	// component scheduled, so its Tick kept firing (and could keep stealing
 	// core time) for the rest of the machine's life.
 	spec, _ := BenchmarkByName("Heat-irt")
-	m, _ := NewMachine(DefaultMachineConfig())
-	sess, err := Start(m, DefaultDaemonConfig())
+	m, _ := NewMachine()
+	sess, err := Start(m)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -231,8 +229,8 @@ func TestObliviousAcrossModels(t *testing.T) {
 	// between the OpenMP and HClib runtimes.
 	opt := func(model Model) freq.Ratio {
 		spec, _ := BenchmarkByName("SOR-irt")
-		m, _ := NewMachine(DefaultMachineConfig())
-		sess, err := Start(m, DefaultDaemonConfig())
+		m, _ := NewMachine()
+		sess, err := Start(m)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -251,5 +249,61 @@ func TestObliviousAcrossModels(t *testing.T) {
 	}
 	if omp, hc := opt(ModelOpenMP), opt(ModelHClib); omp != hc {
 		t.Errorf("CFopt differs across models: openmp %v, hclib %v", omp, hc)
+	}
+}
+
+func TestPublicGovernorRegistry(t *testing.T) {
+	names := Governors()
+	want := map[string]bool{GovernorDefault: true, GovernorCuttlefish: true, GovernorStatic: true, GovernorDDCM: true, GovernorPowersave: true, GovernorOndemand: true}
+	for _, n := range names {
+		delete(want, n)
+	}
+	if len(want) != 0 {
+		t.Errorf("Governors() missing %v (got %v)", want, names)
+	}
+	if _, err := NewGovernor("nope"); err == nil {
+		t.Error("NewGovernor must reject unknown names")
+	}
+	if err := RegisterGovernor(GovernorDefault, nil); err == nil {
+		t.Error("RegisterGovernor must reject duplicates")
+	}
+}
+
+func TestStartWithGovernorOptions(t *testing.T) {
+	m, err := NewMachine(WithCores(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Config().Cores; got != 4 {
+		t.Fatalf("WithCores ignored: %d cores", got)
+	}
+	sess, err := Start(m, WithGovernor(GovernorStatic), WithStatic(16, 22))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.Governor() != GovernorStatic {
+		t.Errorf("Session.Governor() = %q, want static", sess.Governor())
+	}
+	if sess.Daemon() != nil {
+		t.Error("static session must not carry a daemon")
+	}
+	if got := m.CoreRatio(0); got != 16 {
+		t.Errorf("static pin CF = %v, want 1.6GHz", got)
+	}
+	if err := sess.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.CoreRatio(0); got != m.Config().CoreGrid.Max {
+		t.Errorf("Stop left CF at %v, want restored max", got)
+	}
+}
+
+func TestStartUnknownGovernor(t *testing.T) {
+	m, err := NewMachine(WithCores(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Start(m, WithGovernor("turbo")); err == nil {
+		t.Error("Start must reject unknown governor names")
 	}
 }

@@ -22,7 +22,7 @@ import (
 )
 
 func main() {
-	m, err := cuttlefish.NewMachine(cuttlefish.DefaultMachineConfig())
+	m, err := cuttlefish.NewMachine()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -46,7 +46,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	session, err := cuttlefish.Start(m, cuttlefish.DefaultDaemonConfig())
+	session, err := cuttlefish.Start(m)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -21,7 +21,7 @@ import (
 const scale = 0.25 // fraction of the paper's 76.6 s run
 
 func run(withCuttlefish bool) (sec, joules float64) {
-	m, err := cuttlefish.NewMachine(cuttlefish.DefaultMachineConfig())
+	m, err := cuttlefish.NewMachine()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -39,22 +39,21 @@ func run(withCuttlefish bool) (sec, joules float64) {
 		log.Fatal(err)
 	}
 
-	var session *cuttlefish.Session
+	gov := cuttlefish.GovernorDefault
 	if withCuttlefish {
-		session, err = cuttlefish.Start(m, cuttlefish.DefaultDaemonConfig())
-	} else {
-		err = cuttlefish.ApplyDefaultEnvironment(m)
+		gov = cuttlefish.GovernorCuttlefish
 	}
+	session, err := cuttlefish.Start(m, cuttlefish.WithGovernor(gov))
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	m.SetSource(src)
 	sec = m.Run(300)
-	if session != nil {
-		if err := session.Stop(); err != nil {
-			log.Fatal(err)
-		}
+	if err := session.Stop(); err != nil {
+		log.Fatal(err)
+	}
+	if withCuttlefish {
 		for _, n := range session.Daemon().List().Nodes() {
 			if n.CF.HasOpt() && n.UF.HasOpt() {
 				fmt.Printf("  slab %s -> CF %v, UF %v\n",

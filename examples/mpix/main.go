@@ -16,6 +16,7 @@ import (
 	"log"
 
 	"repro/internal/cluster"
+	"repro/internal/governor"
 	"repro/internal/sched"
 	"repro/internal/workload"
 )
@@ -44,9 +45,9 @@ func app() cluster.App {
 	}
 }
 
-func run(policy cluster.Policy) cluster.Result {
+func run(gov string) cluster.Result {
 	cfg := cluster.DefaultConfig()
-	cfg.Policy = policy
+	cfg.Governor = gov
 	res, err := cluster.Run(cfg, app())
 	if err != nil {
 		log.Fatal(err)
@@ -56,9 +57,9 @@ func run(policy cluster.Policy) cluster.Result {
 
 func main() {
 	fmt.Println("MPI+X stencil on 4 simulated nodes (balanced halo exchange)")
-	def := run(cluster.PolicyDefault)
+	def := run(governor.Default)
 	fmt.Printf("Default:    %.1f s wall, %.0f J cluster energy\n", def.Seconds, def.Joules)
-	cf := run(cluster.PolicyCuttlefish)
+	cf := run(governor.Cuttlefish)
 	fmt.Printf("Cuttlefish: %.1f s wall, %.0f J cluster energy\n", cf.Seconds, cf.Joules)
 	fmt.Printf("energy savings %.1f%%, slowdown %.1f%%\n\n",
 		100*(1-cf.Joules/def.Joules), 100*(cf.Seconds/def.Seconds-1))

@@ -17,7 +17,7 @@ import (
 )
 
 func main() {
-	m, err := cuttlefish.NewMachine(cuttlefish.DefaultMachineConfig())
+	m, err := cuttlefish.NewMachine()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -37,7 +37,7 @@ func main() {
 	}}, 400)
 
 	// cuttlefish::start()
-	session, err := cuttlefish.Start(m, cuttlefish.DefaultDaemonConfig())
+	session, err := cuttlefish.Start(m)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -21,11 +21,11 @@ import (
 const scale = 0.25
 
 func runDefault() (float64, float64) {
-	m, err := cuttlefish.NewMachine(cuttlefish.DefaultMachineConfig())
+	m, err := cuttlefish.NewMachine()
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := cuttlefish.ApplyDefaultEnvironment(m); err != nil {
+	if _, err := cuttlefish.Start(m, cuttlefish.WithGovernor(cuttlefish.GovernorDefault)); err != nil {
 		log.Fatal(err)
 	}
 	spec, _ := cuttlefish.BenchmarkByName("MiniFE")
@@ -39,13 +39,11 @@ func runDefault() (float64, float64) {
 }
 
 func runWithTinv(tinv float64) (float64, float64) {
-	m, err := cuttlefish.NewMachine(cuttlefish.DefaultMachineConfig())
+	m, err := cuttlefish.NewMachine()
 	if err != nil {
 		log.Fatal(err)
 	}
-	cfg := cuttlefish.DefaultDaemonConfig()
-	cfg.TinvSec = tinv
-	session, err := cuttlefish.Start(m, cfg)
+	session, err := cuttlefish.Start(m, cuttlefish.WithTinv(tinv))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -15,6 +15,7 @@ package cluster
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"repro/internal/core"
@@ -63,25 +64,17 @@ type App struct {
 	ExchangeBytes func(rank, step int) float64
 }
 
-// Policy selects the per-node frequency environment.
-type Policy int
-
-const (
-	// PolicyDefault runs every node under the performance governor with
-	// firmware Auto uncore.
-	PolicyDefault Policy = iota
-	// PolicyCuttlefish runs one Cuttlefish daemon per node.
-	PolicyCuttlefish
-)
-
-// Config describes the cluster.
+// Config describes the cluster. The per-node frequency environment is any
+// registered governor; one independent instance attaches to every rank.
 type Config struct {
 	Nodes   int
 	Machine machine.Config
-	Daemon  core.Config
 	Network Network
-	Policy  Policy
-	Seed    int64
+	// Governor names the registered per-node strategy (governor.New).
+	Governor string
+	// Tuning carries the strategy's per-run parameters (Tinv, warmup, …).
+	Tuning governor.Tuning
+	Seed   int64
 	// Workers bounds how many ranks simulate concurrently between
 	// supersteps (each rank is an independent Machine, so they parallelise
 	// perfectly); <= 0 means GOMAXPROCS. Per-rank results are independent
@@ -89,14 +82,14 @@ type Config struct {
 	Workers int
 }
 
-// DefaultConfig is a 4-node cluster of the paper's sockets.
+// DefaultConfig is a 4-node cluster of the paper's sockets, one Cuttlefish
+// daemon per node.
 func DefaultConfig() Config {
 	return Config{
-		Nodes:   4,
-		Machine: machine.DefaultConfig(),
-		Daemon:  core.DefaultConfig(),
-		Network: DefaultNetwork(),
-		Policy:  PolicyCuttlefish,
+		Nodes:    4,
+		Machine:  machine.DefaultConfig(),
+		Network:  DefaultNetwork(),
+		Governor: governor.Cuttlefish,
 	}
 }
 
@@ -116,10 +109,10 @@ type Result struct {
 	Nodes   []NodeResult
 }
 
-// node is one rank's simulated machine.
+// node is one rank's simulated machine with its attached governor.
 type node struct {
-	m      *machine.Machine
-	daemon *core.Daemon
+	m   *machine.Machine
+	att *governor.Attachment
 }
 
 // Run executes the application on a fresh cluster and returns the outcome.
@@ -130,41 +123,41 @@ func Run(cfg Config, app App) (Result, error) {
 	if app.Steps <= 0 || app.Compute == nil {
 		return Result{}, fmt.Errorf("cluster: app needs steps and a compute function")
 	}
-	nodes := make([]*node, cfg.Nodes)
-	for i := range nodes {
+	govName := cfg.Governor
+	if govName == "" {
+		govName = governor.Cuttlefish
+	}
+	nodes := make([]*node, 0, cfg.Nodes)
+	defer func() {
+		for _, n := range nodes {
+			n.att.Detach()
+			n.m.Close()
+		}
+	}()
+	for i := 0; i < cfg.Nodes; i++ {
 		m, err := machine.New(cfg.Machine)
 		if err != nil {
 			return Result{}, err
 		}
-		n := &node{m: m}
-		switch cfg.Policy {
-		case PolicyDefault:
-			if err := governor.Apply(governor.Performance, m.Device(), cfg.Machine.Cores, cfg.Machine.CoreGrid); err != nil {
-				return Result{}, err
-			}
-			m.SetFirmware(governor.DefaultAutoUFS())
-		case PolicyCuttlefish:
-			d, err := core.NewDaemon(cfg.Daemon, m.Device(), cfg.Machine.Cores, cfg.Machine.CoreGrid, cfg.Machine.UncoreGrid, 0)
-			if err != nil {
-				return Result{}, err
-			}
-			m.Schedule(&machine.Component{Period: cfg.Daemon.TinvSec, Core: cfg.Daemon.PinnedCore, Tick: d.Tick}, cfg.Daemon.TinvSec)
-			n.daemon = d
-		default:
-			return Result{}, fmt.Errorf("cluster: unknown policy %d", cfg.Policy)
+		// One independent governor instance per rank: per-node daemons
+		// profile only their own socket, the §4.6 deployment.
+		g, err := governor.New(govName, cfg.Tuning)
+		if err != nil {
+			m.Close()
+			return Result{}, err
 		}
-		nodes[i] = n
+		att, err := g.Attach(m)
+		if err != nil {
+			m.Close()
+			return Result{}, fmt.Errorf("cluster: rank %d: %w", i, err)
+		}
+		nodes = append(nodes, &node{m: m, att: att})
 	}
 
 	results := make([]NodeResult, cfg.Nodes)
 	for i := range results {
-		results[i] = NodeResult{Rank: i, Daemon: nodes[i].daemon}
+		results[i] = NodeResult{Rank: i, Daemon: nodes[i].att.Daemon()}
 	}
-	defer func() {
-		for _, n := range nodes {
-			n.m.Close()
-		}
-	}()
 
 	// Ranks are independent machines, so each superstep's compute and
 	// barrier-wait phases fan out on the shared runner pool — nodes step in
@@ -231,18 +224,19 @@ func Run(cfg Config, app App) (Result, error) {
 	}
 
 	var res Result
+	var detachErrs []error
 	for rank, n := range nodes {
-		if n.daemon != nil {
-			n.daemon.Stop()
-			if err := n.daemon.Err(); err != nil {
-				return Result{}, fmt.Errorf("cluster: rank %d daemon: %w", rank, err)
-			}
+		if err := n.att.Detach(); err != nil {
+			detachErrs = append(detachErrs, fmt.Errorf("cluster: rank %d: %w", rank, err))
 		}
 		results[rank].Joules = n.m.TotalEnergy()
 		res.Joules += results[rank].Joules
 		if n.m.Now() > res.Seconds {
 			res.Seconds = n.m.Now()
 		}
+	}
+	if err := errors.Join(detachErrs...); err != nil {
+		return Result{}, err
 	}
 	res.Nodes = results
 	return res, nil

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/freq"
+	"repro/internal/governor"
 	"repro/internal/sched"
 	"repro/internal/workload"
 )
@@ -45,13 +46,13 @@ func imbalancedApp(steps int) App {
 	return app
 }
 
-func smallConfig(p Policy) Config {
+func smallConfig(gov string) Config {
 	cfg := DefaultConfig()
 	cfg.Nodes = 2
-	cfg.Policy = p
+	cfg.Governor = gov
 	// Long steps are unnecessary for unit tests; shrink the daemon warmup
 	// so exploration happens inside the run.
-	cfg.Daemon.WarmupSec = 0.2
+	cfg.Tuning.WarmupSec = 0.2
 	return cfg
 }
 
@@ -59,14 +60,14 @@ func TestRunValidation(t *testing.T) {
 	if _, err := Run(Config{}, balancedApp(1, 0.05)); err == nil {
 		t.Error("zero nodes must be rejected")
 	}
-	cfg := smallConfig(PolicyDefault)
+	cfg := smallConfig(governor.Default)
 	if _, err := Run(cfg, App{}); err == nil {
 		t.Error("empty app must be rejected")
 	}
 }
 
 func TestBalancedClusterRuns(t *testing.T) {
-	cfg := smallConfig(PolicyDefault)
+	cfg := smallConfig(governor.Default)
 	res, err := Run(cfg, balancedApp(12, 0.08))
 	if err != nil {
 		t.Fatal(err)
@@ -90,11 +91,11 @@ func TestCuttlefishSavesEnergyOnBalancedMPIX(t *testing.T) {
 	// §4.6: in regular MPI+X programs without load imbalance, per-node
 	// Cuttlefish works as in the single-node case.
 	app := balancedApp(400, 0.066)
-	def, err := Run(smallConfig(PolicyDefault), app)
+	def, err := Run(smallConfig(governor.Default), app)
 	if err != nil {
 		t.Fatal(err)
 	}
-	cf, err := Run(smallConfig(PolicyCuttlefish), app)
+	cf, err := Run(smallConfig(governor.Cuttlefish), app)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +123,7 @@ func TestImbalanceLimitation(t *testing.T) {
 	// continuously busy rank still resolves the memory-bound optimum.
 	// Cuttlefish also does not reclaim the slack (no Adagio-style slowing
 	// of the fast rank): the wait time stays wait time.
-	res, err := Run(smallConfig(PolicyCuttlefish), imbalancedApp(40))
+	res, err := Run(smallConfig(governor.Cuttlefish), imbalancedApp(40))
 	if err != nil {
 		t.Fatal(err)
 	}

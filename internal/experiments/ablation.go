@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/core"
+	"repro/internal/governor"
 	"repro/internal/machine"
 	"repro/internal/stats"
 )
@@ -110,7 +111,7 @@ func Ablation(names []string, opt Options) ([]AblationRow, error) {
 	defaults := make([]RunResult, len(specs)*opt.Reps)
 	err = forEach(len(defaults), opt, func(i int) error {
 		b, r := i/opt.Reps, i%opt.Reps
-		res, err := RunOne(specs[b], Default, opt, opt.Seed+int64(r))
+		res, err := RunOne(specs[b], governor.Default, opt, opt.Seed+int64(r))
 		if err != nil {
 			return err
 		}
@@ -162,17 +163,18 @@ func runAblated(spec bench.Spec, v AblationVariant, opt Options, seed int64) (ab
 		return out, err
 	}
 	defer m.Close()
-	dcfg := core.DefaultConfig()
-	dcfg.TinvSec = opt.TinvSec
-	dcfg.WarmupSec = opt.WarmupSec
+	// Resolve Tinv/warmup exactly like every registry-built daemon, then
+	// layer the ablation switches on top.
+	dcfg := opt.tuning().DaemonConfig(core.PolicyBoth)
 	if err := v.apply(&dcfg); err != nil {
 		return out, err
 	}
-	daemon, err := core.NewDaemon(dcfg, m.Device(), mcfg.Cores, mcfg.CoreGrid, mcfg.UncoreGrid, m.Now())
+	att, err := governor.NewCuttlefishFromConfig(dcfg).Attach(m)
 	if err != nil {
 		return out, err
 	}
-	m.Schedule(&machine.Component{Period: dcfg.TinvSec, Core: dcfg.PinnedCore, Tick: daemon.Tick}, dcfg.TinvSec)
+	defer att.Detach()
+	daemon := att.Daemon()
 	src, err := spec.Build(bench.Params{Cores: mcfg.Cores, Scale: opt.Scale, Seed: seed, Model: opt.Model})
 	if err != nil {
 		return out, err
@@ -182,7 +184,7 @@ func runAblated(spec bench.Spec, v AblationVariant, opt Options, seed int64) (ab
 	if !m.Finished() {
 		return out, fmt.Errorf("experiments: %s/%s did not finish", spec.Name, v)
 	}
-	if err := daemon.Err(); err != nil {
+	if err := att.Detach(); err != nil {
 		return out, err
 	}
 	out.joules = m.TotalEnergy()

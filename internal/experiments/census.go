@@ -9,7 +9,6 @@ import (
 	"repro/internal/freq"
 	"repro/internal/governor"
 	"repro/internal/machine"
-	"repro/internal/msr"
 	"repro/internal/tipi"
 	"repro/internal/trace"
 )
@@ -18,34 +17,22 @@ import (
 // occurring" when it covers more than 10% of the Tinv samples (§3.2).
 const FrequentShare = 0.10
 
-// sampleRun executes a benchmark while a profiler component records TIPI
-// and JPI every Tinv, the instrumentation behind Table 1 and Figs. 2–3.
-// cf/uf pin the frequencies; passing zero for either leaves it at the
-// Default environment's setting (performance governor / firmware Auto).
-func sampleRun(spec bench.Spec, opt Options, seed int64, cf, uf freq.Ratio) (*trace.Recorder, float64, error) {
+// sampleRun executes a benchmark under the given governor while a profiler
+// component records TIPI and JPI every Tinv, the instrumentation behind
+// Table 1 and Figs. 2–3. The profiler is a pure observer, so any
+// registered strategy can drive the environment.
+func sampleRun(spec bench.Spec, opt Options, seed int64, g governor.Governor) (*trace.Recorder, float64, error) {
 	mcfg := opt.machineConfig()
 	m, err := machine.New(mcfg)
 	if err != nil {
 		return nil, 0, err
 	}
 	defer m.Close()
-	if err := governor.Apply(governor.Performance, m.Device(), mcfg.Cores, mcfg.CoreGrid); err != nil {
+	att, err := g.Attach(m)
+	if err != nil {
 		return nil, 0, err
 	}
-	if cf != 0 {
-		for c := 0; c < mcfg.Cores; c++ {
-			if err := m.Device().Write(msr.IA32PerfCtl, c, msr.PerfCtlRaw(uint8(cf))); err != nil {
-				return nil, 0, err
-			}
-		}
-	}
-	if uf != 0 {
-		if err := m.Device().Write(msr.UncoreRatioLimit, 0, msr.UncoreLimitRaw(uint8(uf), uint8(uf))); err != nil {
-			return nil, 0, err
-		}
-	} else {
-		m.SetFirmware(governor.DefaultAutoUFS())
-	}
+	defer att.Detach()
 
 	prof, err := core.NewProfiler(m.Device(), mcfg.Cores)
 	if err != nil {
@@ -79,6 +66,9 @@ func sampleRun(spec bench.Spec, opt Options, seed int64, cf, uf freq.Ratio) (*tr
 	sec := m.Run(spec.PaperSeconds*opt.Scale*6 + 30)
 	if !m.Finished() {
 		return nil, 0, fmt.Errorf("experiments: %s sampling run did not finish", spec.Name)
+	}
+	if err := att.Detach(); err != nil {
+		return nil, 0, err
 	}
 	return rec, sec, nil
 }
@@ -116,13 +106,18 @@ type Table1Row struct {
 	Frequent int // slabs covering > 10% of samples
 }
 
-// Table1 regenerates the benchmark census under the Default environment.
+// Table1 regenerates the benchmark census. The paper records it under the
+// Default environment; Options.Governor swaps in any registered strategy.
 func Table1(opt Options) ([]Table1Row, error) {
 	specs := bench.All()
 	rows := make([]Table1Row, len(specs))
 	err := forEach(len(specs), opt, func(i int) error {
 		spec := specs[i]
-		rec, sec, err := sampleRun(spec, opt, opt.Seed, 0, 0)
+		g, err := governor.New(opt.governorName(governor.Default), opt.tuning())
+		if err != nil {
+			return err
+		}
+		rec, sec, err := sampleRun(spec, opt, opt.Seed, g)
 		if err != nil {
 			return err
 		}
@@ -168,7 +163,7 @@ func Fig2(opt Options) (map[string]*trace.Recorder, error) {
 		if !ok {
 			return fmt.Errorf("experiments: unknown benchmark %q", Fig2Benchmarks[i])
 		}
-		rec, _, err := sampleRun(spec, opt, opt.Seed, spec22CF(), spec22UF())
+		rec, _, err := sampleRun(spec, opt, opt.Seed, governor.NewStatic(spec22CF(), spec22UF()))
 		recs[i] = rec
 		return err
 	})
@@ -221,7 +216,7 @@ func fig3Sweep(opt Options, settings []freq.Ratio, sweepCF bool) ([]Fig3Point, e
 		} else {
 			uf = j.setting
 		}
-		rec, _, err := sampleRun(spec, opt, opt.Seed, cf, uf)
+		rec, _, err := sampleRun(spec, opt, opt.Seed, governor.NewStatic(cf, uf))
 		if err != nil {
 			return err
 		}

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"repro/internal/bench"
+	"repro/internal/governor"
 	"repro/internal/stats"
 )
 
@@ -14,37 +15,43 @@ type Cell struct {
 	CI   float64
 }
 
-// CompareRow is one benchmark's comparison against Default, in percent:
-// positive energy/EDP savings are improvements, positive slowdown is lost
-// time — the quantities on the y-axes of Figs. 10 and 11.
+// CompareRow is one benchmark's comparison against the baseline governor,
+// in percent: positive energy/EDP savings are improvements, positive
+// slowdown is lost time — the quantities on the y-axes of Figs. 10 and 11.
+// Maps are keyed by registered governor name.
 type CompareRow struct {
 	Bench         string
-	EnergySavings map[PolicyName]Cell
-	Slowdown      map[PolicyName]Cell
-	EDPSavings    map[PolicyName]Cell
+	EnergySavings map[string]Cell
+	Slowdown      map[string]Cell
+	EDPSavings    map[string]Cell
 }
 
 // Comparison is a full Fig. 10/11-style result.
 type Comparison struct {
 	Model bench.Model
-	Rows  []CompareRow
+	// Baseline is the reference governor the savings are relative to.
+	Baseline string
+	// Governors is the comparison set, in report order.
+	Governors []string
+	Rows      []CompareRow
 	// Geomean aggregates match the paper's headline numbers: geometric
 	// mean of the per-benchmark ratios, expressed as percentages.
-	GeoEnergySavings map[PolicyName]float64
-	GeoSlowdown      map[PolicyName]float64
-	GeoEDPSavings    map[PolicyName]float64
+	GeoEnergySavings map[string]float64
+	GeoSlowdown      map[string]float64
+	GeoEDPSavings    map[string]float64
 }
 
 // runKey addresses one simulation inside the flattened comparison matrix.
 type runKey struct {
-	bench  int
-	policy PolicyName
-	rep    int
+	bench    int
+	governor string
+	rep      int
 }
 
-// Compare evaluates the three Cuttlefish policies against Default over the
-// given benchmarks. Repetition r of every policy shares a seed with
-// repetition r of Default, so ratios compare like with like.
+// Compare evaluates the configured governor set (default: the three
+// Cuttlefish variants) against the baseline over the given benchmarks.
+// Repetition r of every governor shares a seed with repetition r of the
+// baseline, so ratios compare like with like.
 func Compare(names []string, opt Options) (Comparison, error) {
 	specs := make([]bench.Spec, len(names))
 	for i, n := range names {
@@ -54,12 +61,13 @@ func Compare(names []string, opt Options) (Comparison, error) {
 		}
 		specs[i] = s
 	}
-	policies := append([]PolicyName{Default}, CuttlefishPolicies...)
+	baseline, govs := opt.comparisonSet()
+	all := append([]string{baseline}, govs...)
 	var keys []runKey
 	for b := range specs {
-		for _, p := range policies {
+		for _, g := range all {
 			for r := 0; r < opt.Reps; r++ {
-				keys = append(keys, runKey{bench: b, policy: p, rep: r})
+				keys = append(keys, runKey{bench: b, governor: g, rep: r})
 			}
 		}
 	}
@@ -67,7 +75,7 @@ func Compare(names []string, opt Options) (Comparison, error) {
 	var mu sync.Mutex
 	err := forEach(len(keys), opt, func(i int) error {
 		k := keys[i]
-		res, err := RunOne(specs[k.bench], k.policy, opt, opt.Seed+int64(k.rep))
+		res, err := RunOne(specs[k.bench], k.governor, opt, opt.Seed+int64(k.rep))
 		if err != nil {
 			return err
 		}
@@ -82,26 +90,28 @@ func Compare(names []string, opt Options) (Comparison, error) {
 
 	cmp := Comparison{
 		Model:            opt.Model,
-		GeoEnergySavings: map[PolicyName]float64{},
-		GeoSlowdown:      map[PolicyName]float64{},
-		GeoEDPSavings:    map[PolicyName]float64{},
+		Baseline:         baseline,
+		Governors:        govs,
+		GeoEnergySavings: map[string]float64{},
+		GeoSlowdown:      map[string]float64{},
+		GeoEDPSavings:    map[string]float64{},
 	}
 	// Per-benchmark cells plus ratio collection for the geomeans.
-	ratioE := map[PolicyName][]float64{}
-	ratioT := map[PolicyName][]float64{}
-	ratioD := map[PolicyName][]float64{}
+	ratioE := map[string][]float64{}
+	ratioT := map[string][]float64{}
+	ratioD := map[string][]float64{}
 	for b, spec := range specs {
 		row := CompareRow{
 			Bench:         spec.Name,
-			EnergySavings: map[PolicyName]Cell{},
-			Slowdown:      map[PolicyName]Cell{},
-			EDPSavings:    map[PolicyName]Cell{},
+			EnergySavings: map[string]Cell{},
+			Slowdown:      map[string]Cell{},
+			EDPSavings:    map[string]Cell{},
 		}
-		for _, p := range CuttlefishPolicies {
+		for _, g := range govs {
 			var es, sl, ed, re, rt, rd []float64
 			for r := 0; r < opt.Reps; r++ {
-				def := results[runKey{bench: b, policy: Default, rep: r}]
-				cf := results[runKey{bench: b, policy: p, rep: r}]
+				def := results[runKey{bench: b, governor: baseline, rep: r}]
+				cf := results[runKey{bench: b, governor: g, rep: r}]
 				es = append(es, stats.SavingsPercent(def.Joules, cf.Joules))
 				sl = append(sl, stats.SlowdownPercent(def.Seconds, cf.Seconds))
 				ed = append(ed, stats.SavingsPercent(def.EDP, cf.EDP))
@@ -109,19 +119,19 @@ func Compare(names []string, opt Options) (Comparison, error) {
 				rt = append(rt, cf.Seconds/def.Seconds)
 				rd = append(rd, cf.EDP/def.EDP)
 			}
-			row.EnergySavings[p] = Cell{Mean: stats.Mean(es), CI: stats.CI95(es)}
-			row.Slowdown[p] = Cell{Mean: stats.Mean(sl), CI: stats.CI95(sl)}
-			row.EDPSavings[p] = Cell{Mean: stats.Mean(ed), CI: stats.CI95(ed)}
-			ratioE[p] = append(ratioE[p], stats.Mean(re))
-			ratioT[p] = append(ratioT[p], stats.Mean(rt))
-			ratioD[p] = append(ratioD[p], stats.Mean(rd))
+			row.EnergySavings[g] = Cell{Mean: stats.Mean(es), CI: stats.CI95(es)}
+			row.Slowdown[g] = Cell{Mean: stats.Mean(sl), CI: stats.CI95(sl)}
+			row.EDPSavings[g] = Cell{Mean: stats.Mean(ed), CI: stats.CI95(ed)}
+			ratioE[g] = append(ratioE[g], stats.Mean(re))
+			ratioT[g] = append(ratioT[g], stats.Mean(rt))
+			ratioD[g] = append(ratioD[g], stats.Mean(rd))
 		}
 		cmp.Rows = append(cmp.Rows, row)
 	}
-	for _, p := range CuttlefishPolicies {
-		cmp.GeoEnergySavings[p] = 100 * (1 - stats.GeoMean(ratioE[p]))
-		cmp.GeoSlowdown[p] = 100 * (stats.GeoMean(ratioT[p]) - 1)
-		cmp.GeoEDPSavings[p] = 100 * (1 - stats.GeoMean(ratioD[p]))
+	for _, g := range govs {
+		cmp.GeoEnergySavings[g] = 100 * (1 - stats.GeoMean(ratioE[g]))
+		cmp.GeoSlowdown[g] = 100 * (stats.GeoMean(ratioT[g]) - 1)
+		cmp.GeoEDPSavings[g] = 100 * (1 - stats.GeoMean(ratioD[g]))
 	}
 	return cmp, nil
 }
@@ -157,11 +167,11 @@ func Table3(opt Options, tinvs []float64) ([]Table3Row, error) {
 		specs[i], _ = bench.Get(n)
 	}
 
-	// Defaults are Tinv-independent; run them once.
+	// The baseline is Tinv-independent; run it once.
 	defaults := make([]RunResult, len(specs)*opt.Reps)
 	err := forEach(len(defaults), opt, func(i int) error {
 		b, r := i/opt.Reps, i%opt.Reps
-		res, err := RunOne(specs[b], Default, opt, opt.Seed+int64(r))
+		res, err := RunOne(specs[b], governor.Default, opt, opt.Seed+int64(r))
 		if err != nil {
 			return err
 		}
@@ -179,7 +189,7 @@ func Table3(opt Options, tinvs []float64) ([]Table3Row, error) {
 		runs := make([]RunResult, len(specs)*opt.Reps)
 		err := forEach(len(runs), opt, func(i int) error {
 			b, r := i/opt.Reps, i%opt.Reps
-			res, err := RunOne(specs[b], Cuttlefish, o, opt.Seed+int64(r))
+			res, err := RunOne(specs[b], governor.Cuttlefish, o, opt.Seed+int64(r))
 			if err != nil {
 				return err
 			}

@@ -4,9 +4,9 @@ import (
 	"fmt"
 
 	"repro/internal/bench"
+	"repro/internal/freq"
 	"repro/internal/governor"
 	"repro/internal/machine"
-	"repro/internal/msr"
 )
 
 // DDCMRow compares the two core-throttling knobs the energy-efficiency
@@ -83,22 +83,13 @@ func runThrottled(spec bench.Spec, opt Options, cfRatio uint8, ddcmLevel uint8) 
 		return out, err
 	}
 	defer m.Close()
-	// Pin the uncore at the firmware's quiet point so only the core knob
-	// varies between the rows.
-	if err := m.Device().Write(msr.UncoreRatioLimit, 0, msr.UncoreLimitRaw(22, 22)); err != nil {
+	// The ddcm governor pins the uncore at the firmware's quiet point, so
+	// only the core knob varies between the rows.
+	att, err := governor.NewDDCM(freq.Ratio(cfRatio), ddcmLevel).Attach(m)
+	if err != nil {
 		return out, err
 	}
-	if err := governor.Apply(governor.Performance, m.Device(), mcfg.Cores, mcfg.CoreGrid); err != nil {
-		return out, err
-	}
-	for c := 0; c < mcfg.Cores; c++ {
-		if err := m.Device().Write(msr.IA32PerfCtl, c, msr.PerfCtlRaw(cfRatio)); err != nil {
-			return out, err
-		}
-		if err := m.Device().Write(msr.IA32ClockModulation, c, msr.ClockModRaw(ddcmLevel)); err != nil {
-			return out, err
-		}
-	}
+	defer att.Detach()
 	src, err := spec.Build(bench.Params{Cores: mcfg.Cores, Scale: opt.Scale, Seed: opt.Seed, Model: opt.Model})
 	if err != nil {
 		return out, err

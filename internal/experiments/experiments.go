@@ -4,6 +4,12 @@
 // (HClib) policy comparisons, the Table 2 frequency-settings report and the
 // Table 3 Tinv sensitivity study.
 //
+// Every harness constructs its frequency-control strategy through the
+// governor registry (repro/internal/governor): one RunOne path attaches a
+// named governor, runs the benchmark and detaches — the msr-safe
+// Save/Restore bracket and daemon teardown are uniform across success and
+// error paths.
+//
 // Absolute joules and seconds are simulator outputs; the contract is shape
 // fidelity (see EXPERIMENTS.md for the paper-vs-measured record).
 package experiments
@@ -20,37 +26,6 @@ import (
 	"repro/internal/stats"
 )
 
-// PolicyName identifies an execution environment.
-type PolicyName string
-
-const (
-	// Default is the paper's baseline: performance governor, firmware Auto
-	// uncore.
-	Default PolicyName = "default"
-	// Cuttlefish adapts both domains; CoreOnly and UncoreOnly are the §5
-	// build variants.
-	Cuttlefish PolicyName = "cuttlefish"
-	CoreOnly   PolicyName = "cuttlefish-core"
-	UncoreOnly PolicyName = "cuttlefish-uncore"
-)
-
-// CuttlefishPolicies are the three library variants compared against
-// Default throughout §5.
-var CuttlefishPolicies = []PolicyName{Cuttlefish, CoreOnly, UncoreOnly}
-
-func (p PolicyName) daemonPolicy() (core.Policy, bool) {
-	switch p {
-	case Cuttlefish:
-		return core.PolicyBoth, true
-	case CoreOnly:
-		return core.PolicyCoreOnly, true
-	case UncoreOnly:
-		return core.PolicyUncoreOnly, true
-	default:
-		return 0, false
-	}
-}
-
 // Options configure an experiment run.
 type Options struct {
 	// Cores is the simulated core count (paper: 20).
@@ -65,7 +40,8 @@ type Options struct {
 	Seed int64
 	// TinvSec is the daemon profiling interval.
 	TinvSec float64
-	// WarmupSec is the daemon warmup (§4.1).
+	// WarmupSec is the daemon warmup (§4.1): 0 keeps the paper's 2 s
+	// default, negative disables the warmup (governor.Tuning semantics).
 	WarmupSec float64
 	// Model selects the parallel runtime for benchmarks that support both.
 	Model bench.Model
@@ -79,6 +55,15 @@ type Options struct {
 	// BatchQuanta caps the engine's run-to-next-event batching
 	// (machine.Config.BatchQuanta); 0 means unbounded.
 	BatchQuanta int
+	// Governor overrides the execution environment of single-environment
+	// harnesses (Table1); empty means each harness's paper default.
+	Governor string
+	// Governors is the comparison set Compare evaluates against Baseline;
+	// empty means the paper's three Cuttlefish variants.
+	Governors []string
+	// Baseline is the reference environment of the comparisons; empty
+	// means "default".
+	Baseline string
 }
 
 // pool returns the shared bounded-concurrency pool every harness fans its
@@ -93,6 +78,33 @@ func (o Options) machineConfig() machine.Config {
 	cfg.Workers = o.SimWorkers
 	cfg.BatchQuanta = o.BatchQuanta
 	return cfg
+}
+
+// tuning maps the run options onto the registry's per-run parameters.
+func (o Options) tuning() governor.Tuning {
+	return governor.Tuning{TinvSec: o.TinvSec, WarmupSec: o.WarmupSec}
+}
+
+// governorName resolves the single-environment strategy, falling back to
+// the harness's paper default when -governor was not given.
+func (o Options) governorName(paperDefault string) string {
+	if o.Governor != "" {
+		return o.Governor
+	}
+	return paperDefault
+}
+
+// comparisonSet resolves Compare's baseline and governor list.
+func (o Options) comparisonSet() (baseline string, govs []string) {
+	baseline = o.Baseline
+	if baseline == "" {
+		baseline = governor.Default
+	}
+	govs = o.Governors
+	if len(govs) == 0 {
+		govs = governor.CuttlefishVariants
+	}
+	return baseline, govs
 }
 
 // DefaultOptions returns a configuration that finishes the full evaluation
@@ -111,43 +123,43 @@ func DefaultOptions() Options {
 
 // RunResult is one benchmark execution.
 type RunResult struct {
-	Policy  PolicyName
-	Seconds float64
-	Joules  float64
-	EDP     float64
+	// Governor is the registered strategy the run executed under.
+	Governor string
+	Seconds  float64
+	Joules   float64
+	EDP      float64
 	// AvgUncoreGHz is the run's time-weighted uncore frequency.
 	AvgUncoreGHz float64
-	// Daemon carries the slab list for Cuttlefish runs (nil for Default).
+	// Daemon carries the slab list for daemon-backed governors (nil
+	// otherwise).
 	Daemon *core.Daemon
 }
 
-// RunOne executes one benchmark under one policy.
-func RunOne(spec bench.Spec, policy PolicyName, opt Options, seed int64) (RunResult, error) {
+// RunOne executes one benchmark under one registered governor. The
+// governor's Attach/Detach brackets the run, so the MSR save/restore and
+// daemon teardown happen on every path, including errors.
+func RunOne(spec bench.Spec, gov string, opt Options, seed int64) (RunResult, error) {
+	g, err := governor.New(gov, opt.tuning())
+	if err != nil {
+		return RunResult{}, err
+	}
+	return runGovernor(spec, g, opt, seed)
+}
+
+// runGovernor is RunOne for an already constructed strategy (the ablation
+// study and sweeps build theirs directly).
+func runGovernor(spec bench.Spec, g governor.Governor, opt Options, seed int64) (RunResult, error) {
 	cfg := opt.machineConfig()
 	m, err := machine.New(cfg)
 	if err != nil {
 		return RunResult{}, err
 	}
 	defer m.Close()
-	var daemon *core.Daemon
-	if dp, isCuttlefish := policy.daemonPolicy(); isCuttlefish {
-		dcfg := core.DefaultConfig()
-		dcfg.Policy = dp
-		if opt.TinvSec > 0 {
-			dcfg.TinvSec = opt.TinvSec
-		}
-		dcfg.WarmupSec = opt.WarmupSec
-		daemon, err = core.NewDaemon(dcfg, m.Device(), cfg.Cores, cfg.CoreGrid, cfg.UncoreGrid, m.Now())
-		if err != nil {
-			return RunResult{}, err
-		}
-		m.Schedule(&machine.Component{Period: dcfg.TinvSec, Core: dcfg.PinnedCore, Tick: daemon.Tick}, m.Now()+dcfg.TinvSec)
-	} else {
-		if err := governor.Apply(governor.Performance, m.Device(), cfg.Cores, cfg.CoreGrid); err != nil {
-			return RunResult{}, err
-		}
-		m.SetFirmware(governor.DefaultAutoUFS())
+	att, err := g.Attach(m)
+	if err != nil {
+		return RunResult{}, err
 	}
+	defer att.Detach() // uniform cleanup on every early return
 	src, err := spec.Build(bench.Params{Cores: cfg.Cores, Scale: opt.Scale, Seed: seed, Model: opt.Model})
 	if err != nil {
 		return RunResult{}, err
@@ -156,22 +168,19 @@ func RunOne(spec bench.Spec, policy PolicyName, opt Options, seed int64) (RunRes
 	maxSim := spec.PaperSeconds*opt.Scale*6 + opt.WarmupSec + 30
 	sec := m.Run(maxSim)
 	if !m.Finished() {
-		return RunResult{}, fmt.Errorf("experiments: %s/%s did not finish in %.0f simulated seconds", spec.Name, policy, maxSim)
+		return RunResult{}, fmt.Errorf("experiments: %s/%s did not finish in %.0f simulated seconds", spec.Name, g.Name(), maxSim)
 	}
-	if daemon != nil {
-		daemon.Stop()
-		if err := daemon.Err(); err != nil {
-			return RunResult{}, err
-		}
+	if err := att.Detach(); err != nil {
+		return RunResult{}, err
 	}
 	j := m.TotalEnergy()
 	return RunResult{
-		Policy:       policy,
+		Governor:     g.Name(),
 		Seconds:      sec,
 		Joules:       j,
 		EDP:          stats.EDP(j, sec),
 		AvgUncoreGHz: m.AvgUncoreGHz(),
-		Daemon:       daemon,
+		Daemon:       att.Daemon(),
 	}, nil
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/freq"
+	"repro/internal/governor"
 	"repro/internal/tipi"
 )
 
@@ -29,7 +30,7 @@ func mustSpec(t *testing.T, name string) bench.Spec {
 func TestRunOneDefaultAndCuttlefish(t *testing.T) {
 	o := testOptions()
 	spec := mustSpec(t, "SOR-irt")
-	def, err := RunOne(spec, Default, o, 1)
+	def, err := RunOne(spec, governor.Default, o, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,7 +44,7 @@ func TestRunOneDefaultAndCuttlefish(t *testing.T) {
 	if def.AvgUncoreGHz < 2.0 || def.AvgUncoreGHz > 2.5 {
 		t.Errorf("SOR Default avg UF = %.2f GHz, want ≈ 2.2", def.AvgUncoreGHz)
 	}
-	cf, err := RunOne(spec, Cuttlefish, o, 1)
+	cf, err := RunOne(spec, governor.Cuttlefish, o, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,7 +56,7 @@ func TestRunOneDefaultAndCuttlefish(t *testing.T) {
 func TestRunOneRejectsInvalidModelCombos(t *testing.T) {
 	o := testOptions()
 	o.Model = bench.HClib
-	if _, err := RunOne(mustSpec(t, "AMG"), Default, o, 1); err == nil {
+	if _, err := RunOne(mustSpec(t, "AMG"), governor.Default, o, 1); err == nil {
 		t.Error("AMG under HClib must fail (§5.2)")
 	}
 }
@@ -73,24 +74,24 @@ func TestCompareShape(t *testing.T) {
 
 	// Memory-bound saves more than compute-bound under full Cuttlefish
 	// (§5.1: 22-29% vs 8-10%).
-	if heat.EnergySavings[Cuttlefish].Mean <= uts.EnergySavings[Cuttlefish].Mean {
+	if heat.EnergySavings[governor.Cuttlefish].Mean <= uts.EnergySavings[governor.Cuttlefish].Mean {
 		t.Errorf("Heat savings %.1f%% should exceed UTS %.1f%%",
-			heat.EnergySavings[Cuttlefish].Mean, uts.EnergySavings[Cuttlefish].Mean)
+			heat.EnergySavings[governor.Cuttlefish].Mean, uts.EnergySavings[governor.Cuttlefish].Mean)
 	}
 	// Cuttlefish-Core loses energy on compute-bound codes (§5.1).
-	if uts.EnergySavings[CoreOnly].Mean >= 0 {
-		t.Errorf("UTS Cuttlefish-Core savings = %.1f%%, want negative", uts.EnergySavings[CoreOnly].Mean)
+	if uts.EnergySavings[governor.CuttlefishCore].Mean >= 0 {
+		t.Errorf("UTS Cuttlefish-Core savings = %.1f%%, want negative", uts.EnergySavings[governor.CuttlefishCore].Mean)
 	}
 	// Slowdowns stay small.
 	for _, row := range cmp.Rows {
-		for _, p := range CuttlefishPolicies {
+		for _, p := range governor.CuttlefishVariants {
 			if s := row.Slowdown[p].Mean; s > 20 {
 				t.Errorf("%s/%s slowdown %.1f%% implausible", row.Bench, p, s)
 			}
 		}
 	}
 	// Geomeans must be populated for all policies.
-	for _, p := range CuttlefishPolicies {
+	for _, p := range governor.CuttlefishVariants {
 		if _, ok := cmp.GeoEnergySavings[p]; !ok {
 			t.Errorf("missing geomean for %s", p)
 		}
@@ -373,6 +374,73 @@ func TestTable3Sensitivity(t *testing.T) {
 		}
 		if r.Slowdown > 15 {
 			t.Errorf("Tinv %.0f ms: slowdown %.1f%% implausible", r.TinvSec*1e3, r.Slowdown)
+		}
+	}
+}
+
+func TestRunOneUnknownGovernor(t *testing.T) {
+	if _, err := RunOne(mustSpec(t, "UTS"), "turbo", testOptions(), 1); err == nil {
+		t.Error("unknown governor must error")
+	}
+}
+
+// TestGovernorDeterminismSerialVsSharded is the cross-governor determinism
+// contract: the same seed under the same governor must produce bit-identical
+// Joules and Seconds whether the engine runs serial or sharded across
+// workers. It drives a work-sharing benchmark — the engine's determinism
+// contract covers sources whose scheduling is independent of same-quantum
+// call order, which the work-sharing runtime guarantees (hash-derived chunk
+// jitter, one-quantum barrier release latency); the stealing runtime's
+// random victim selection is the documented exception.
+func TestGovernorDeterminismSerialVsSharded(t *testing.T) {
+	spec := mustSpec(t, "SOR-ws")
+	for _, gov := range []string{
+		governor.Default, governor.Cuttlefish, governor.Static,
+		governor.DDCM, governor.Powersave, governor.Ondemand,
+	} {
+		t.Run(gov, func(t *testing.T) {
+			o := testOptions()
+			o.Scale = 0.04
+			run := func(simWorkers int) RunResult {
+				o := o
+				o.SimWorkers = simWorkers
+				res, err := RunOne(spec, gov, o, 7)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res
+			}
+			serial, sharded := run(0), run(3)
+			if serial.Joules != sharded.Joules || serial.Seconds != sharded.Seconds {
+				t.Errorf("%s not deterministic across workers: serial (%.9g J, %.9g s) vs sharded (%.9g J, %.9g s)",
+					gov, serial.Joules, serial.Seconds, sharded.Joules, sharded.Seconds)
+			}
+			if serial.Joules <= 0 || serial.Seconds <= 0 {
+				t.Errorf("%s degenerate run %+v", gov, serial)
+			}
+		})
+	}
+}
+
+// TestTable1UnderAlternativeGovernors is the acceptance path behind
+// `cuttlefish -governor=<name> table1`: the census must run under any
+// registered strategy.
+func TestTable1UnderAlternativeGovernors(t *testing.T) {
+	o := testOptions()
+	o.Scale = 0.04
+	for _, gov := range []string{governor.Powersave, governor.Static} {
+		o.Governor = gov
+		rows, err := Table1(o)
+		if err != nil {
+			t.Fatalf("%s: %v", gov, err)
+		}
+		if len(rows) != 10 {
+			t.Fatalf("%s: rows = %d, want 10", gov, len(rows))
+		}
+		for _, r := range rows {
+			if r.Seconds <= 0 || r.Distinct < 1 {
+				t.Errorf("%s/%s: degenerate row %+v", gov, r.Name, r)
+			}
 		}
 	}
 }

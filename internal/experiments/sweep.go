@@ -5,8 +5,8 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/freq"
+	"repro/internal/governor"
 	"repro/internal/machine"
-	"repro/internal/msr"
 )
 
 // SweepPoint is one fixed (CF, UF) execution of a benchmark.
@@ -49,14 +49,11 @@ func Sweep(name string, opt Options, cfStride, ufStride int) ([]SweepPoint, erro
 			return err
 		}
 		defer m.Close()
-		for c := 0; c < mcfg.Cores; c++ {
-			if err := m.Device().Write(msr.IA32PerfCtl, c, msr.PerfCtlRaw(uint8(p.CF))); err != nil {
-				return err
-			}
-		}
-		if err := m.Device().Write(msr.UncoreRatioLimit, 0, msr.UncoreLimitRaw(uint8(p.UF), uint8(p.UF))); err != nil {
+		att, err := governor.NewStatic(p.CF, p.UF).Attach(m)
+		if err != nil {
 			return err
 		}
+		defer att.Detach()
 		src, err := spec.Build(bench.Params{Cores: mcfg.Cores, Scale: opt.Scale, Seed: opt.Seed, Model: opt.Model})
 		if err != nil {
 			return err
@@ -95,7 +92,7 @@ func Oracle(name string, opt Options, cfStride, ufStride int) (OracleResult, err
 	if !ok {
 		return OracleResult{}, fmt.Errorf("experiments: unknown benchmark %q", name)
 	}
-	res, err := RunOne(spec, Cuttlefish, opt, opt.Seed)
+	res, err := RunOne(spec, governor.Cuttlefish, opt, opt.Seed)
 	if err != nil {
 		return OracleResult{}, err
 	}

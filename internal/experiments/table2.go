@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/bench"
+	"repro/internal/governor"
 	"repro/internal/tipi"
 )
 
@@ -42,11 +43,11 @@ func Table2(opt Options) ([]Table2Row, error) {
 	rows := make([]Table2Row, len(specs))
 	err := forEach(len(specs), opt, func(i int) error {
 		spec := specs[i]
-		cf, err := RunOne(spec, Cuttlefish, opt, opt.Seed)
+		cf, err := RunOne(spec, governor.Cuttlefish, opt, opt.Seed)
 		if err != nil {
 			return err
 		}
-		def, err := RunOne(spec, Default, opt, opt.Seed)
+		def, err := RunOne(spec, governor.Default, opt, opt.Seed)
 		if err != nil {
 			return err
 		}

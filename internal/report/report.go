@@ -1,0 +1,138 @@
+// Package report is the structured output layer behind every CLI
+// subcommand: each experiment harness produces one RunReport — a titled,
+// column-ordered row set plus metadata — which renders as an aligned text
+// table, a JSON document or CSV, so downstream tooling never scrapes the
+// pretty-printed output.
+package report
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+)
+
+// Row is one record keyed by the report's column names.
+type Row map[string]any
+
+// RunReport is the JSON-encodable result of one experiment invocation.
+type RunReport struct {
+	// Experiment is the subcommand that produced the report.
+	Experiment string `json:"experiment"`
+	// Title is the human heading the text renderer prints.
+	Title string `json:"title,omitempty"`
+	// Governor and Governors record which registered strategies ran.
+	Governor  string   `json:"governor,omitempty"`
+	Governors []string `json:"governors,omitempty"`
+	// Meta echoes the run options that shape the numbers (scale, reps, …).
+	Meta map[string]any `json:"meta,omitempty"`
+	// Columns orders the row keys for CSV and text rendering.
+	Columns []string `json:"columns"`
+	Rows    []Row    `json:"rows"`
+}
+
+// New starts an empty report for the named experiment.
+func New(experiment string, columns ...string) *RunReport {
+	return &RunReport{Experiment: experiment, Columns: columns}
+}
+
+// AddRow appends one record; cells pair positionally with Columns.
+func (r *RunReport) AddRow(cells ...any) *RunReport {
+	if len(cells) != len(r.Columns) {
+		panic(fmt.Sprintf("report: %s row has %d cells, want %d", r.Experiment, len(cells), len(r.Columns)))
+	}
+	row := make(Row, len(cells))
+	for i, c := range cells {
+		row[r.Columns[i]] = c
+	}
+	r.Rows = append(r.Rows, row)
+	return r
+}
+
+// WriteJSON renders the report as an indented JSON document.
+func (r *RunReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteCSV renders the header and rows in column order.
+func (r *RunReport) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(r.Columns); err != nil {
+		return err
+	}
+	rec := make([]string, len(r.Columns))
+	for _, row := range r.Rows {
+		for i, col := range r.Columns {
+			rec[i] = formatCell(row[col])
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteText renders the title and an aligned column table.
+func (r *RunReport) WriteText(w io.Writer) error {
+	if r.Title != "" {
+		if _, err := fmt.Fprintln(w, r.Title); err != nil {
+			return err
+		}
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, strings.Join(r.Columns, "\t"))
+	for _, row := range r.Rows {
+		cells := make([]string, len(r.Columns))
+		for i, col := range r.Columns {
+			cells[i] = formatCell(row[col])
+		}
+		fmt.Fprintln(tw, strings.Join(cells, "\t"))
+	}
+	return tw.Flush()
+}
+
+// Write renders the report in the named format: "text", "json" or "csv".
+func (r *RunReport) Write(w io.Writer, format string) error {
+	switch format {
+	case "", "text":
+		return r.WriteText(w)
+	case "json":
+		return r.WriteJSON(w)
+	case "csv":
+		return r.WriteCSV(w)
+	default:
+		return fmt.Errorf("report: unknown format %q (want text, json or csv)", format)
+	}
+}
+
+// ValidFormat reports whether format names a supported renderer.
+func ValidFormat(format string) bool {
+	switch format {
+	case "", "text", "json", "csv":
+		return true
+	}
+	return false
+}
+
+// formatCell renders one cell for CSV/text output. Floats use a compact
+// 5-significant-digit form; nil renders empty (e.g. a geomean row's CI).
+func formatCell(v any) string {
+	switch x := v.(type) {
+	case nil:
+		return ""
+	case string:
+		return x
+	case float64:
+		return strconv.FormatFloat(x, 'g', 5, 64)
+	case fmt.Stringer:
+		return x.String()
+	default:
+		return fmt.Sprint(x)
+	}
+}

@@ -1,0 +1,92 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func sample() *RunReport {
+	r := New("table1", "benchmark", "seconds", "slabs")
+	r.Title = "Table 1"
+	r.Governor = "default"
+	r.Meta = map[string]any{"scale": 0.12}
+	r.AddRow("UTS", 12.5, 1)
+	r.AddRow("AMG", 30.25, 60)
+	return r
+}
+
+func TestWriteJSONRoundTrips(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sample().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatalf("invalid JSON: %s", buf.String())
+	}
+	var back RunReport
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Experiment != "table1" || len(back.Rows) != 2 || back.Rows[1]["benchmark"] != "AMG" {
+		t.Errorf("round trip lost data: %+v", back)
+	}
+}
+
+func TestWriteCSVHeaderAndOrder(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sample().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d, want header + 2 rows:\n%s", len(lines), buf.String())
+	}
+	if lines[0] != "benchmark,seconds,slabs" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != "UTS,12.5,1" {
+		t.Errorf("row = %q", lines[1])
+	}
+}
+
+func TestWriteTextIncludesTitleAndCells(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sample().WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Table 1", "benchmark", "AMG", "60"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteDispatchAndNilCells(t *testing.T) {
+	r := New("x", "a", "b")
+	r.AddRow("v", nil)
+	var buf bytes.Buffer
+	if err := r.Write(&buf, "csv"); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Split(strings.TrimSpace(buf.String()), "\n")[1]; got != "v," {
+		t.Errorf("nil cell rendered %q, want empty", got)
+	}
+	if err := r.Write(&buf, "yaml"); err == nil {
+		t.Error("unknown format must error")
+	}
+	if ValidFormat("yaml") || !ValidFormat("json") || !ValidFormat("") {
+		t.Error("ValidFormat misclassifies")
+	}
+}
+
+func TestAddRowArityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("arity mismatch must panic")
+		}
+	}()
+	New("x", "a", "b").AddRow("only-one")
+}

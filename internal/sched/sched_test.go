@@ -89,7 +89,13 @@ func TestWorkSharingBarrier(t *testing.T) {
 		}
 		ws.Complete(0, 0)
 	}
-	if _, ok := ws.NextSegment(1, 0); !ok {
+	// The release takes effect at the next timestamp (the one-quantum
+	// barrier wake-up latency that keeps results independent of the order
+	// cores step in): same-time claims are refused, later ones succeed.
+	if _, ok := ws.NextSegment(1, 0); ok {
+		t.Fatal("claim at the release timestamp must wait out the barrier latency")
+	}
+	if _, ok := ws.NextSegment(1, 0.0005); !ok {
 		t.Fatal("barrier should have opened the second region for core 1")
 	}
 }

@@ -12,7 +12,6 @@ package sched
 
 import (
 	"fmt"
-	"math/rand"
 	"sync"
 
 	"repro/internal/workload"
@@ -48,12 +47,18 @@ func StaticProgram(regions []Region, iterations int) RegionGen {
 // WorkSharing executes a sequence of parallel regions with static chunk
 // assignment: chunk c of a region belongs to core c mod P, exactly like
 // OpenMP schedule(static) with chunk granularity. A region's barrier
-// releases only when every chunk has completed.
+// releases only when every chunk has completed, and the release takes
+// effect at the next simulation timestamp: cores asking at the same `now`
+// the barrier opened are refused. That one-quantum release latency (a real
+// barrier's wake-up cost) is what makes the runtime independent of the
+// order cores step in within a quantum — the engine's sharded workers and
+// the serial driver observe identical state transitions, so results are
+// bit-identical across engine worker counts.
 type WorkSharing struct {
 	mu        sync.Mutex
 	cores     int
 	gen       RegionGen
-	rng       *rand.Rand
+	seed      int64
 	step      int
 	cur       Region
 	curOK     bool
@@ -62,20 +67,43 @@ type WorkSharing struct {
 	inFlight  int
 	done      bool
 
+	// openAt is the simulation time the current region became claimable;
+	// claims at the same timestamp wait out the barrier release latency.
+	openAt float64
+
 	// stats
 	regionsRun int
 	chunksRun  int
 }
 
 // NewWorkSharing creates the runtime for the given core count. The seed
-// drives jitter only; a jitter-free program is fully deterministic.
+// drives jitter only; a jitter-free program is fully deterministic, and a
+// jittered one is too — each chunk's jitter is a pure function of
+// (seed, region, chunk), never a sequential draw, so results are
+// independent of the order cores claim chunks in (the engine's sharded
+// workers call NextSegment concurrently).
 func NewWorkSharing(cores int, gen RegionGen, seed int64) *WorkSharing {
 	if cores <= 0 {
 		panic(fmt.Sprintf("sched: invalid core count %d", cores))
 	}
-	ws := &WorkSharing{cores: cores, gen: gen, rng: rand.New(rand.NewSource(seed))}
+	ws := &WorkSharing{cores: cores, gen: gen, seed: seed, openAt: -1}
 	ws.advanceLocked()
 	return ws
+}
+
+// chunkJitter returns a uniform value in [0, 1) derived from the runtime
+// seed, the region's program step and the chunk index — splitmix64 over
+// the triple, so every chunk's perturbation is stable no matter which core
+// claims it first.
+func chunkJitter(seed int64, step, chunk int) float64 {
+	x := uint64(seed) ^ 0x9e3779b97f4a7c15
+	x ^= uint64(step)*0xbf58476d1ce4e5b9 + uint64(chunk)*0x94d049bb133111eb
+	// splitmix64 finalizer
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	x ^= x >> 31
+	return float64(x>>11) / (1 << 53)
 }
 
 // advanceLocked loads the next region or marks the program done.
@@ -104,6 +132,9 @@ func (w *WorkSharing) NextSegment(core int, now float64) (workload.Segment, bool
 	if w.done {
 		return workload.Segment{}, false
 	}
+	if now <= w.openAt {
+		return workload.Segment{}, false // barrier release latency
+	}
 	idx := core + w.claimed[core]*w.cores
 	if idx >= w.cur.Chunks {
 		return workload.Segment{}, false // barrier wait
@@ -111,7 +142,7 @@ func (w *WorkSharing) NextSegment(core int, now float64) (workload.Segment, bool
 	w.claimed[core]++
 	seg := w.cur.Seg
 	if j := w.cur.JitterFrac; j > 0 {
-		seg.Instructions *= 1 + (w.rng.Float64()*2-1)*j
+		seg.Instructions *= 1 + (chunkJitter(w.seed, w.step, idx)*2-1)*j
 	}
 	w.inFlight++
 	w.chunksRun++
@@ -129,6 +160,7 @@ func (w *WorkSharing) Complete(core int, now float64) {
 	w.completed++
 	if w.completed == w.cur.Chunks {
 		w.claimed = nil
+		w.openAt = now
 		w.advanceLocked()
 	}
 }
