@@ -1,0 +1,94 @@
+// Command cfserve is the simulation-as-a-service front-end: an HTTP
+// server that executes RunSpecs on a bounded job queue with a persistent
+// worker fleet, coalesces identical in-flight requests and serves
+// repeated specs from a content-addressed LRU result cache.
+//
+//	cfserve -addr :8080 -service-workers 4 -queue 32 -cache 512
+//
+//	POST /v1/runs            run a spec, wait for the report
+//	POST /v1/runs?async=1    enqueue, poll GET /v1/runs/{id}
+//	GET  /v1/governors       registered strategies
+//	GET  /v1/stats           hits / misses / coalesced / queue / latency
+//	GET  /healthz            liveness
+//
+// SIGINT/SIGTERM drain gracefully: in-flight runs finish, then the
+// process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		workers = flag.Int("service-workers", 0, "worker fleet size (0 = GOMAXPROCS)")
+		queue   = flag.Int("queue", 0, "job queue depth before 429 rejection (0 = 16)")
+		cache   = flag.Int("cache", 0, "result cache entries (0 = 256)")
+		grace   = flag.Duration("grace", 30*time.Second, "graceful shutdown deadline")
+	)
+	flag.Parse()
+	if err := run(*addr, *workers, *queue, *cache, *grace); err != nil {
+		fmt.Fprintf(os.Stderr, "cfserve: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, workers, queue, cache int, grace time.Duration) error {
+	// Engine knobs (sim_workers, batch_quanta) travel inside each spec —
+	// they are part of the content hash, so the server never rewrites
+	// them behind the cache key's back.
+	cfg := service.Config{Workers: workers, QueueDepth: queue, CacheEntries: cache}
+	svc := service.New(cfg)
+	defer svc.Close()
+
+	srv := &http.Server{Addr: addr, Handler: logRequests(service.NewHandler(svc))}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("cfserve: listening on %s", addr)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("cfserve: shutting down (grace %s)", grace)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return err
+	}
+	if err := svc.Shutdown(shutdownCtx); err != nil {
+		return err
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	log.Printf("cfserve: drained, bye")
+	return nil
+}
+
+// logRequests is a one-line access log: method, path, duration.
+func logRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		next.ServeHTTP(w, r)
+		log.Printf("%s %s %s", r.Method, r.URL.Path, time.Since(start).Round(time.Millisecond))
+	})
+}

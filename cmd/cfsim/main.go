@@ -1,7 +1,8 @@
 // Command cfsim runs one benchmark under one registered governor on the
 // simulated machine and reports the run: time, energy, EDP, the frequency
 // decisions a daemon-backed governor took, and optionally a per-Tinv CSV
-// trace (TIPI, JPI, CF, UF) suitable for plotting Fig. 2-style timelines.
+// trace (TIPI, JPI, instructions, joules, CF, UF) suitable for plotting
+// Fig. 2-style timelines.
 //
 // Examples:
 //

@@ -6,16 +6,18 @@
 //	cuttlefish [flags] <experiment> [flags]
 //
 // Experiments: table1, fig2, fig3a, fig3b, fig10, fig11, table2, table3,
-// ablation, ddcm, oracle, all
+// ablation, ddcm, oracle, run, all
 //
 // Flags may appear before or after the experiment name. -governor runs the
-// single-environment experiments (table1) under any registered strategy;
-// -format renders every report as text, json or csv. The remaining flags
-// select the run scale (1.0 = the paper's 60–80 s executions), repetition
-// count and seeds; defaults finish the full set in minutes.
+// single-environment experiments (table1, run) under any registered
+// strategy; -format renders every report as text, json or csv; -remote
+// executes against a cfserve instance instead of in-process. The remaining
+// flags select the run scale (1.0 = the paper's 60–80 s executions),
+// repetition count and seeds; defaults finish the full set in minutes.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -24,9 +26,14 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/governor"
 	"repro/internal/report"
+	"repro/internal/service"
 )
 
-var format = "text"
+var (
+	format    = "text"
+	remote    = ""
+	benchName = ""
+)
 
 func main() {
 	opt := experiments.DefaultOptions()
@@ -40,6 +47,8 @@ func main() {
 	flag.IntVar(&opt.BatchQuanta, "batch", 0, "max quanta per engine dispatch (0 = run to next event)")
 	flag.StringVar(&opt.Governor, "governor", "", "registered governor for single-environment experiments (default: each experiment's paper environment; see -list-governors)")
 	flag.StringVar(&format, "format", format, "report format: text | json | csv")
+	flag.StringVar(&remote, "remote", remote, "execute against a cfserve instance at this URL instead of in-process (e.g. http://localhost:8080)")
+	flag.StringVar(&benchName, "bench", benchName, "benchmark for the \"run\" experiment (Table 1 name)")
 	listGov := flag.Bool("list-governors", false, "list registered governors and exit")
 	flag.Usage = usage
 	flag.Parse()
@@ -93,6 +102,7 @@ experiments:
   ablation cost of disabling the §4.4 / §4.5 / Algorithm-3 optimisations
   ddcm     DVFS vs duty-cycle modulation at matched throttle
   oracle   daemon's chosen optima vs exhaustive (CF,UF) sweep
+  run      one benchmark under one governor (-bench <name>, Reps rows)
   all      everything above in sequence
 
 strategies are constructed through the governor registry; -governor swaps
@@ -100,18 +110,28 @@ the execution environment of single-environment experiments (table1), e.g.
   cuttlefish -governor=powersave table1 -format json
 registered: %s
 
+-remote <url> ships any experiment to a cfserve instance instead of
+running in-process; identical specs are served from the server's
+content-addressed result cache:
+  cuttlefish -remote http://localhost:8080 run -bench Heat-irt -format json
+
 flags (before or after the experiment):
 `, strings.Join(governor.Names(), ", "))
 	flag.PrintDefaults()
 }
 
-// run executes one experiment and renders its report in the chosen format.
+// run executes one experiment — in-process, or against a cfserve
+// instance when -remote is set — and renders its report in the chosen
+// format.
 func run(name string, opt experiments.Options, format string) error {
 	if opt.Governor != "" {
 		// Fail fast on typos before burning simulation time.
 		if _, err := governor.New(opt.Governor, governor.Tuning{}); err != nil {
 			return err
 		}
+	}
+	if name == "run" && benchName == "" {
+		return fmt.Errorf("the run experiment needs -bench <name>")
 	}
 	if name == "all" {
 		for _, e := range []string{"table1", "fig2", "fig3a", "fig3b", "fig10", "fig11", "table2", "table3", "ablation", "ddcm"} {
@@ -122,6 +142,9 @@ func run(name string, opt experiments.Options, format string) error {
 		}
 		return nil
 	}
+	if remote != "" {
+		return runRemote(name, opt, format)
+	}
 	rep, err := build(name, opt)
 	if err != nil {
 		return err
@@ -129,80 +152,22 @@ func run(name string, opt experiments.Options, format string) error {
 	return rep.Write(os.Stdout, format)
 }
 
-// build runs the named experiment and converts its rows to a report.
-func build(name string, opt experiments.Options) (*report.RunReport, error) {
-	switch name {
-	case "table1":
-		rows, err := experiments.Table1(opt)
-		if err != nil {
-			return nil, err
-		}
-		return experiments.Table1Report(rows, opt), nil
-	case "fig2":
-		recs, err := experiments.Fig2(opt)
-		if err != nil {
-			return nil, err
-		}
-		return experiments.Fig2Report(recs, opt), nil
-	case "fig3a":
-		pts, err := experiments.Fig3a(opt)
-		if err != nil {
-			return nil, err
-		}
-		return experiments.Fig3Report("fig3a", "Figure 3(a): average JPI of frequent TIPI slabs, UF = 3.0 GHz", pts, opt), nil
-	case "fig3b":
-		pts, err := experiments.Fig3b(opt)
-		if err != nil {
-			return nil, err
-		}
-		return experiments.Fig3Report("fig3b", "Figure 3(b): average JPI of frequent TIPI slabs, CF = 2.3 GHz", pts, opt), nil
-	case "fig10":
-		cmp, err := experiments.Fig10(opt)
-		if err != nil {
-			return nil, err
-		}
-		return experiments.ComparisonReport("fig10", "Figure 10 (OpenMP)", cmp), nil
-	case "fig11":
-		cmp, err := experiments.Fig11(opt)
-		if err != nil {
-			return nil, err
-		}
-		return experiments.ComparisonReport("fig11", "Figure 11 (HClib)", cmp), nil
-	case "table2":
-		rows, err := experiments.Table2(opt)
-		if err != nil {
-			return nil, err
-		}
-		return experiments.Table2Report(rows, opt), nil
-	case "table3":
-		rows, err := experiments.Table3(opt, nil)
-		if err != nil {
-			return nil, err
-		}
-		return experiments.Table3Report(rows, opt), nil
-	case "ablation":
-		rows, err := experiments.Ablation(nil, opt)
-		if err != nil {
-			return nil, err
-		}
-		return experiments.AblationReport(rows, opt), nil
-	case "ddcm":
-		rows, err := experiments.DDCMStudy(nil, opt)
-		if err != nil {
-			return nil, err
-		}
-		return experiments.DDCMReport(rows, opt), nil
-	case "oracle":
-		var rows []experiments.OracleResult
-		for _, b := range []string{"UTS", "SOR-irt", "Heat-irt", "MiniFE"} {
-			r, err := experiments.Oracle(b, opt, 1, 2)
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, r)
-		}
-		return experiments.OracleReport(rows, opt), nil
-	default:
-		return nil, fmt.Errorf("unknown experiment %q", name)
+// runRemote ships the experiment to a cfserve instance: the same flags
+// become a RunSpec, the server's canonical report renders locally in any
+// -format. The cache outcome goes to stderr so json/csv stay clean.
+func runRemote(name string, opt experiments.Options, format string) error {
+	c := &service.Client{BaseURL: remote}
+	rep, outcome, err := c.Run(context.Background(), service.SpecFromOptions(name, benchName, opt))
+	if err != nil {
+		return err
 	}
+	fmt.Fprintf(os.Stderr, "cuttlefish: %s via %s (%s)\n", name, remote, outcome)
+	return rep.Write(os.Stdout, format)
+}
+
+// build runs the named experiment in-process and converts its rows to a
+// report; the dispatch itself lives in experiments.BuildReport, shared
+// with the cfserve executor.
+func build(name string, opt experiments.Options) (*report.RunReport, error) {
+	return experiments.BuildReport(name, benchName, opt)
 }

@@ -56,3 +56,43 @@ func TestTable1ReportEncodesAcrossGovernors(t *testing.T) {
 		}
 	}
 }
+
+// TestRunExperimentRequiresBench: the "run" experiment must fail fast
+// without a -bench, before any simulation time.
+func TestRunExperimentRequiresBench(t *testing.T) {
+	benchName = ""
+	if err := run("run", tinyOptions(), "text"); err == nil {
+		t.Error("run without -bench must error")
+	}
+}
+
+// TestRunExperimentReport drives the single-benchmark experiment behind
+// POST /v1/runs through the same build path the CLI uses.
+func TestRunExperimentReport(t *testing.T) {
+	benchName = "Heat-irt"
+	defer func() { benchName = "" }()
+	o := tinyOptions()
+	o.Reps = 2
+	rep, err := build("run", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Experiment != "run" || rep.Governor != "default" {
+		t.Errorf("experiment=%q governor=%q", rep.Experiment, rep.Governor)
+	}
+	if len(rep.Rows) != 2 {
+		t.Fatalf("rows = %d, want one per rep", len(rep.Rows))
+	}
+	for i, row := range rep.Rows {
+		if row["benchmark"] != "Heat-irt" || row["rep"] != i {
+			t.Errorf("row %d = %v", i, row)
+		}
+		if s, ok := row["seconds"].(float64); !ok || s <= 0 {
+			t.Errorf("row %d seconds = %v", i, row["seconds"])
+		}
+	}
+	raw, err := json.Marshal(rep)
+	if err != nil || !json.Valid(raw) {
+		t.Errorf("marshal: %v", err)
+	}
+}

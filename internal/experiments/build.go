@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/bench"
+	"repro/internal/report"
+)
+
+// Names lists the experiment harnesses BuildReport can run, in the
+// paper's presentation order. "run" is the single-benchmark execution the
+// service layer's RunSpec defaults to; the rest regenerate one artefact of
+// the evaluation each.
+var Names = []string{
+	"run", "table1", "fig2", "fig3a", "fig3b", "fig10", "fig11",
+	"table2", "table3", "ablation", "ddcm", "oracle",
+}
+
+// Known reports whether name is an experiment BuildReport understands.
+func Known(name string) bool {
+	for _, n := range Names {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// OracleBenchmarks are the representative benchmarks the oracle study
+// sweeps (one per TIPI regime).
+var OracleBenchmarks = []string{"UTS", "SOR-irt", "Heat-irt", "MiniFE"}
+
+// BuildReport runs the named experiment and converts its rows to a
+// structured report. It is the single dispatch point behind the cuttlefish
+// CLI and the cfserve executor, so a new harness becomes remotely servable
+// the moment it is added here. benchName is only consulted by "run".
+func BuildReport(name, benchName string, opt Options) (*report.RunReport, error) {
+	switch name {
+	case "run":
+		return RunOneReport(benchName, opt)
+	case "table1":
+		rows, err := Table1(opt)
+		if err != nil {
+			return nil, err
+		}
+		return Table1Report(rows, opt), nil
+	case "fig2":
+		recs, err := Fig2(opt)
+		if err != nil {
+			return nil, err
+		}
+		return Fig2Report(recs, opt), nil
+	case "fig3a":
+		pts, err := Fig3a(opt)
+		if err != nil {
+			return nil, err
+		}
+		return Fig3Report("fig3a", "Figure 3(a): average JPI of frequent TIPI slabs, UF = 3.0 GHz", pts, opt), nil
+	case "fig3b":
+		pts, err := Fig3b(opt)
+		if err != nil {
+			return nil, err
+		}
+		return Fig3Report("fig3b", "Figure 3(b): average JPI of frequent TIPI slabs, CF = 2.3 GHz", pts, opt), nil
+	case "fig10":
+		cmp, err := Fig10(opt)
+		if err != nil {
+			return nil, err
+		}
+		return ComparisonReport("fig10", "Figure 10 (OpenMP)", cmp), nil
+	case "fig11":
+		cmp, err := Fig11(opt)
+		if err != nil {
+			return nil, err
+		}
+		return ComparisonReport("fig11", "Figure 11 (HClib)", cmp), nil
+	case "table2":
+		rows, err := Table2(opt)
+		if err != nil {
+			return nil, err
+		}
+		return Table2Report(rows, opt), nil
+	case "table3":
+		rows, err := Table3(opt, nil)
+		if err != nil {
+			return nil, err
+		}
+		return Table3Report(rows, opt), nil
+	case "ablation":
+		rows, err := Ablation(nil, opt)
+		if err != nil {
+			return nil, err
+		}
+		return AblationReport(rows, opt), nil
+	case "ddcm":
+		rows, err := DDCMStudy(nil, opt)
+		if err != nil {
+			return nil, err
+		}
+		return DDCMReport(rows, opt), nil
+	case "oracle":
+		var rows []OracleResult
+		for _, b := range OracleBenchmarks {
+			r, err := Oracle(b, opt, 1, 2)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, r)
+		}
+		return OracleReport(rows, opt), nil
+	default:
+		return nil, fmt.Errorf("unknown experiment %q", name)
+	}
+}
+
+// RunOneReport executes one benchmark Reps times under the configured
+// governor and reports one row per repetition: the "run" experiment behind
+// POST /v1/runs. Repetition r runs with Seed+r, so the whole report is a
+// pure function of (benchmark, governor, tuning, cores, scale, reps, seed)
+// — the property the service cache keys on.
+func RunOneReport(benchName string, opt Options) (*report.RunReport, error) {
+	spec, ok := bench.Get(benchName)
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown benchmark %q (known: %v)", benchName, bench.Names())
+	}
+	gov := opt.governorName("default")
+	reps := opt.Reps
+	if reps < 1 {
+		reps = 1
+	}
+	results := make([]RunResult, reps)
+	err := forEach(reps, opt, func(r int) error {
+		res, err := RunOne(spec, gov, opt, opt.Seed+int64(r))
+		results[r] = res
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep := report.New("run", "benchmark", "governor", "rep", "seconds", "joules", "avg_watts", "edp", "avg_uncore_ghz")
+	rep.Governor = gov
+	rep.Title = fmt.Sprintf("%s under %s (scale %.2f, %d rep(s))", spec.Name, gov, opt.Scale, reps)
+	rep.Meta = opt.meta()
+	for r, res := range results {
+		rep.AddRow(spec.Name, res.Governor, r, res.Seconds, res.Joules,
+			res.Joules/res.Seconds, res.EDP, res.AvgUncoreGHz)
+	}
+	return rep, nil
+}

@@ -175,6 +175,16 @@ func New(name string, t Tuning) (Governor, error) {
 	return f(t)
 }
 
+// Exists reports whether name is a registered strategy, without
+// constructing it. Request validators use it to reject typos before any
+// simulation time is spent.
+func Exists(name string) bool {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	_, ok := registry[name]
+	return ok
+}
+
 // Names returns the registered strategy names, sorted.
 func Names() []string {
 	regMu.RLock()

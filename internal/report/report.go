@@ -6,6 +6,7 @@
 package report
 
 import (
+	"bytes"
 	"encoding/csv"
 	"encoding/json"
 	"fmt"
@@ -57,6 +58,30 @@ func (r *RunReport) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(r)
+}
+
+// Encode renders the report in its canonical byte form: the same indented
+// JSON document WriteJSON emits, as a byte slice. Go's encoder sorts map
+// keys, so two structurally equal reports encode byte-identically — the
+// property the service layer's content-addressed cache relies on to serve
+// cached and freshly computed responses that compare equal byte for byte.
+func (r *RunReport) Encode() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode parses a JSON document produced by WriteJSON/Encode back into a
+// RunReport (numbers in Rows decode as float64, per encoding/json). The
+// remote client uses it to re-render server responses in any -format.
+func Decode(data []byte) (*RunReport, error) {
+	var r RunReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("report: decode: %w", err)
+	}
+	return &r, nil
 }
 
 // WriteCSV renders the header and rows in column order.

@@ -1,0 +1,66 @@
+package service
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// TestCacheEvictionOrder fills a 3-entry cache, refreshes the oldest
+// entry, and checks the next insert evicts the least *recently used*
+// entry, not the least recently inserted one.
+func TestCacheEvictionOrder(t *testing.T) {
+	c := newResultCache(3)
+	c.Add("a", []byte("A"))
+	c.Add("b", []byte("B"))
+	c.Add("c", []byte("C"))
+	if got := c.Keys(); !reflect.DeepEqual(got, []string{"c", "b", "a"}) {
+		t.Fatalf("keys = %v, want [c b a]", got)
+	}
+	// Touch "a": now "b" is the LRU entry.
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a must be present")
+	}
+	c.Add("d", []byte("D"))
+	if _, ok := c.Get("b"); ok {
+		t.Error("b should have been evicted (LRU after a was touched)")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Error("a was recently used and must survive")
+	}
+	if got := c.Len(); got != 3 {
+		t.Errorf("len = %d, want 3", got)
+	}
+}
+
+// TestCacheEvictsInUseOrderUnderPressure drives more inserts than
+// capacity and asserts the survivor set is exactly the most recent ones.
+func TestCacheEvictsInUseOrderUnderPressure(t *testing.T) {
+	c := newResultCache(4)
+	for i := 0; i < 10; i++ {
+		c.Add(fmt.Sprintf("k%d", i), []byte{byte(i)})
+	}
+	want := []string{"k9", "k8", "k7", "k6"}
+	if got := c.Keys(); !reflect.DeepEqual(got, want) {
+		t.Errorf("keys = %v, want %v", got, want)
+	}
+}
+
+// TestCacheReAddRefreshes: re-adding an existing key must update the body
+// and move it to the front, never duplicate it.
+func TestCacheReAddRefreshes(t *testing.T) {
+	c := newResultCache(2)
+	c.Add("a", []byte("v1"))
+	c.Add("b", []byte("B"))
+	c.Add("a", []byte("v2"))
+	if body, _ := c.Get("a"); string(body) != "v2" {
+		t.Errorf("a = %q, want v2", body)
+	}
+	if c.Len() != 2 {
+		t.Errorf("len = %d, want 2", c.Len())
+	}
+	c.Add("c", []byte("C"))
+	if _, ok := c.Get("b"); ok {
+		t.Error("b should have been evicted, a was refreshed above it")
+	}
+}

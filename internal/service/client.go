@@ -1,0 +1,113 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"repro/internal/report"
+)
+
+// Client talks to a cfserve instance. The zero HTTPClient uses
+// http.DefaultClient; BaseURL is the server root, e.g.
+// "http://localhost:8080".
+type Client struct {
+	BaseURL    string
+	HTTPClient *http.Client
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) url(path string) string {
+	return strings.TrimRight(c.BaseURL, "/") + path
+}
+
+// Run submits a spec synchronously and decodes the report. The second
+// return is the server's cache outcome (hit / miss / coalesced).
+func (c *Client) Run(ctx context.Context, spec RunSpec) (*report.RunReport, Outcome, error) {
+	raw, err := json.Marshal(spec)
+	if err != nil {
+		return nil, "", err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.url("/v1/runs"), bytes.NewReader(raw))
+	if err != nil {
+		return nil, "", err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, "", remoteError(resp.StatusCode, body)
+	}
+	rep, err := report.Decode(body)
+	if err != nil {
+		return nil, "", err
+	}
+	return rep, Outcome(resp.Header.Get(HeaderCache)), nil
+}
+
+// Governors fetches the server's registered governor names.
+func (c *Client) Governors(ctx context.Context) ([]string, error) {
+	var out struct {
+		Governors []string `json:"governors"`
+	}
+	if err := c.get(ctx, "/v1/governors", &out); err != nil {
+		return nil, err
+	}
+	return out.Governors, nil
+}
+
+// Stats fetches the server's operational snapshot.
+func (c *Client) Stats(ctx context.Context) (Stats, error) {
+	var out Stats
+	err := c.get(ctx, "/v1/stats", &out)
+	return out, err
+}
+
+func (c *Client) get(ctx context.Context, path string, v any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url(path), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return remoteError(resp.StatusCode, body)
+	}
+	return json.Unmarshal(body, v)
+}
+
+// remoteError surfaces the server's {"error": ...} message when there is
+// one, falling back to the raw status.
+func remoteError(code int, body []byte) error {
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(body, &e) == nil && e.Error != "" {
+		return fmt.Errorf("service: server returned %d: %s", code, e.Error)
+	}
+	return fmt.Errorf("service: server returned %d", code)
+}

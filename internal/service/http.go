@@ -1,0 +1,134 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"repro/internal/governor"
+)
+
+// Cache-status and content-address response headers. The cache outcome
+// travels out of band so hit, miss and coalesced responses stay
+// byte-identical in the body.
+const (
+	HeaderCache = "X-Cache"
+	HeaderHash  = "X-Spec-Hash"
+	HeaderJobID = "X-Job-Id"
+)
+
+// NewHandler exposes a Service over HTTP:
+//
+//	POST /v1/runs            RunSpec JSON in, canonical RunReport JSON out
+//	POST /v1/runs?async=1    202 + job envelope; poll the Location URL
+//	GET  /v1/runs/{id}       async job status / result
+//	GET  /v1/governors       registered governor names
+//	GET  /v1/stats           operational snapshot
+//	GET  /healthz            liveness
+func NewHandler(s *Service) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/runs", func(w http.ResponseWriter, r *http.Request) {
+		handleRuns(s, w, r)
+	})
+	mux.HandleFunc("GET /v1/runs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		handleJob(s, w, r)
+	})
+	mux.HandleFunc("GET /v1/governors", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"governors": governor.Names()})
+	})
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Stats())
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return mux
+}
+
+func handleRuns(s *Service, w http.ResponseWriter, r *http.Request) {
+	var spec RunSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields() // a typoed field silently changing the run would poison the hash
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad spec: %w", err))
+		return
+	}
+	if async, _ := strconv.ParseBool(r.URL.Query().Get("async")); async {
+		jv, err := s.SubmitAsync(spec)
+		if err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		w.Header().Set("Location", "/v1/runs/"+jv.ID)
+		w.Header().Set(HeaderHash, jv.Hash)
+		writeJSON(w, http.StatusAccepted, jv)
+		return
+	}
+	res, err := s.Submit(r.Context(), spec)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeReport(w, res.Hash, res.Outcome, res.Body)
+}
+
+func handleJob(s *Service, w http.ResponseWriter, r *http.Request) {
+	jv, err := s.Job(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	w.Header().Set(HeaderJobID, jv.ID)
+	switch jv.Status {
+	case JobDone:
+		writeReport(w, jv.Hash, jv.Outcome, jv.Body)
+	case JobFailed:
+		writeError(w, http.StatusInternalServerError, errors.New(jv.Error))
+	default:
+		w.Header().Set(HeaderHash, jv.Hash)
+		writeJSON(w, http.StatusOK, jv)
+	}
+}
+
+// writeReport sends the canonical report bytes verbatim — no re-encoding,
+// so the body a cache hit serves is the exact byte sequence the original
+// execution produced.
+func writeReport(w http.ResponseWriter, hash string, outcome Outcome, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set(HeaderCache, string(outcome))
+	w.Header().Set(HeaderHash, hash)
+	w.WriteHeader(http.StatusOK)
+	w.Write(body)
+}
+
+// statusFor maps service errors to HTTP codes: invalid specs are the
+// client's fault, a full queue is backpressure, shutdown is unavailability.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, ErrInvalidSpec):
+		return http.StatusBadRequest
+	case errors.Is(err, ErrQueueFull):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrClosed):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	if code == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

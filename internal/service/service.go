@@ -1,0 +1,491 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/report"
+	"repro/internal/runner"
+	"repro/internal/stats"
+)
+
+// Executor computes the report for one normalized spec. The default runs
+// the in-process experiment harnesses; tests substitute stubs.
+type Executor func(ctx context.Context, spec RunSpec) (*report.RunReport, error)
+
+// DefaultExecutor dispatches the spec to the experiment harnesses — the
+// same code path the cuttlefish CLI runs in-process.
+func DefaultExecutor(_ context.Context, spec RunSpec) (*report.RunReport, error) {
+	return experiments.BuildReport(spec.Experiment, spec.Benchmark, spec.Options())
+}
+
+// Rejection and lifecycle sentinels; the HTTP layer maps them to status
+// codes (429, 503).
+var (
+	// ErrQueueFull is backpressure: the job queue is at capacity and the
+	// request was rejected without queueing. Clients should retry later.
+	ErrQueueFull = errors.New("service: job queue full, retry later")
+	// ErrClosed rejects submissions during and after shutdown.
+	ErrClosed = errors.New("service: shutting down")
+	// ErrUnknownJob is returned by Job for IDs never issued or already
+	// evicted from the bounded job registry.
+	ErrUnknownJob = errors.New("service: unknown job id")
+)
+
+// Config sizes a Service. Zero values pick serving-oriented defaults.
+type Config struct {
+	// Workers is the persistent worker fleet size (0 = GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds jobs accepted but not yet executing; a full
+	// queue rejects with ErrQueueFull (0 = 16).
+	QueueDepth int
+	// CacheEntries bounds the LRU result cache (0 = 256).
+	CacheEntries int
+	// LatencyWindow is how many recent execution latencies the p50/p95
+	// snapshot is computed over (0 = 512).
+	LatencyWindow int
+	// Executor computes reports (nil = DefaultExecutor).
+	Executor Executor
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 16
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 256
+	}
+	if c.LatencyWindow <= 0 {
+		c.LatencyWindow = 512
+	}
+	if c.Executor == nil {
+		c.Executor = DefaultExecutor
+	}
+	return c
+}
+
+// Outcome says how a submission was satisfied.
+type Outcome string
+
+const (
+	// OutcomeHit served canonical bytes straight from the result cache.
+	OutcomeHit Outcome = "hit"
+	// OutcomeMiss executed the spec on the worker fleet.
+	OutcomeMiss Outcome = "miss"
+	// OutcomeCoalesced joined an identical in-flight execution and
+	// shared its result.
+	OutcomeCoalesced Outcome = "coalesced"
+)
+
+// Result is one satisfied submission: the spec's content hash, how it was
+// served, and the canonical report bytes (identical across hit, miss and
+// coalesced for the same spec — that is the cache-soundness contract).
+type Result struct {
+	Hash    string
+	Outcome Outcome
+	Body    []byte
+}
+
+// JobStatus is the lifecycle of an async submission.
+type JobStatus string
+
+const (
+	JobQueued  JobStatus = "queued"
+	JobRunning JobStatus = "running"
+	JobDone    JobStatus = "done"
+	JobFailed  JobStatus = "failed"
+)
+
+// JobView is a point-in-time snapshot of an async job.
+type JobView struct {
+	ID      string    `json:"id"`
+	Hash    string    `json:"hash"`
+	Status  JobStatus `json:"status"`
+	Outcome Outcome   `json:"outcome,omitempty"`
+	Error   string    `json:"error,omitempty"`
+	Body    []byte    `json:"-"`
+}
+
+// flight is one in-progress execution of a spec; every identical
+// submission that arrives while it runs waits on done instead of queueing
+// a duplicate.
+type flight struct {
+	hash    string
+	spec    RunSpec
+	done    chan struct{}
+	started atomic.Bool
+	body    []byte
+	err     error
+}
+
+// job is one async submission; it resolves through its flight, or is born
+// resolved on a cache hit.
+type job struct {
+	id      string
+	hash    string
+	outcome Outcome
+	fl      *flight // nil when born resolved
+	body    []byte
+	err     error
+}
+
+// Service is the simulation-as-a-service core: content-addressed cache in
+// front of a coalescing, bounded job queue drained by a persistent worker
+// fleet. Create with New, submit with Submit/SubmitAsync, stop with
+// Shutdown.
+type Service struct {
+	cfg    Config
+	cache  *resultCache
+	queue  chan *flight
+	cancel context.CancelFunc
+	fleet  chan struct{} // closed when every worker has exited
+
+	mu       sync.Mutex
+	closed   bool
+	inflight map[string]*flight
+	jobs     map[string]*job
+	jobOrder []string
+
+	seq       atomic.Uint64
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	coalesced atomic.Uint64
+	rejected  atomic.Uint64
+	completed atomic.Uint64
+	failed    atomic.Uint64
+
+	latMu  sync.Mutex
+	latSec []float64
+	latIdx int
+	latN   int
+}
+
+// maxJobs bounds the async job registry; finished jobs are evicted oldest
+// first past this.
+const maxJobs = 1024
+
+// New starts a service: the worker fleet spawns immediately (through the
+// shared runner.Pool, like every other harness fan-out in the repo) and
+// blocks on the queue.
+func New(cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Service{
+		cfg:      cfg,
+		cache:    newResultCache(cfg.CacheEntries),
+		queue:    make(chan *flight, cfg.QueueDepth),
+		cancel:   cancel,
+		fleet:    make(chan struct{}),
+		inflight: make(map[string]*flight),
+		jobs:     make(map[string]*job),
+		latSec:   make([]float64, cfg.LatencyWindow),
+	}
+	workers := make([]func(context.Context) error, cfg.Workers)
+	for i := range workers {
+		workers[i] = s.worker
+	}
+	pool := runner.Pool{Workers: cfg.Workers}
+	go func() {
+		defer close(s.fleet)
+		// Workers only return nil; the pool is used for its bounded
+		// spawn/join, not error aggregation.
+		_ = pool.Go(ctx, workers...)
+	}()
+	return s
+}
+
+// worker drains the queue until it is closed (graceful shutdown) or the
+// context is cancelled (forced shutdown, which fails queued flights fast
+// so no waiter blocks forever).
+func (s *Service) worker(ctx context.Context) error {
+	for fl := range s.queue {
+		if ctx.Err() != nil {
+			s.finish(fl, nil, ErrClosed)
+			continue
+		}
+		s.execute(ctx, fl)
+	}
+	return nil
+}
+
+// execute runs one flight on the executor and publishes its result to the
+// cache, the stats and every waiter.
+func (s *Service) execute(ctx context.Context, fl *flight) {
+	fl.started.Store(true)
+	start := time.Now()
+	rep, err := s.cfg.Executor(ctx, fl.spec)
+	var body []byte
+	if err == nil {
+		body, err = rep.Encode()
+	}
+	if err == nil {
+		s.cache.Add(fl.hash, body)
+		s.recordLatency(time.Since(start).Seconds())
+		s.completed.Add(1)
+	} else {
+		s.failed.Add(1)
+	}
+	s.finish(fl, body, err)
+}
+
+// finish resolves a flight: removes it from the coalescing table and
+// wakes every waiter.
+func (s *Service) finish(fl *flight, body []byte, err error) {
+	fl.body, fl.err = body, err
+	s.mu.Lock()
+	delete(s.inflight, fl.hash)
+	s.mu.Unlock()
+	close(fl.done)
+}
+
+// Submit satisfies one spec synchronously: cache hit, coalesce onto an
+// identical in-flight run, or enqueue and wait. A full queue rejects
+// immediately with ErrQueueFull rather than blocking the caller.
+func (s *Service) Submit(ctx context.Context, spec RunSpec) (Result, error) {
+	fl, outcome, res, err := s.admit(spec)
+	if err != nil || outcome == OutcomeHit {
+		return res, err
+	}
+	select {
+	case <-fl.done:
+		if fl.err != nil {
+			return Result{}, fl.err
+		}
+		return Result{Hash: fl.hash, Outcome: outcome, Body: fl.body}, nil
+	case <-ctx.Done():
+		// The flight keeps running; a later identical spec will hit the
+		// cache it populates.
+		return Result{}, ctx.Err()
+	}
+}
+
+// admit is the shared admission path: normalize + validate, consult the
+// cache, coalesce or enqueue. It returns either a hit Result or the
+// flight to wait on with the outcome the waiter should report.
+func (s *Service) admit(spec RunSpec) (*flight, Outcome, Result, error) {
+	norm := spec.Normalized()
+	if err := norm.Validate(); err != nil {
+		return nil, "", Result{}, err
+	}
+	hash := norm.Hash()
+	if body, ok := s.cache.Get(hash); ok {
+		s.hits.Add(1)
+		return nil, OutcomeHit, Result{Hash: hash, Outcome: OutcomeHit, Body: body}, nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, "", Result{}, ErrClosed
+	}
+	if fl, ok := s.inflight[hash]; ok {
+		s.coalesced.Add(1)
+		return fl, OutcomeCoalesced, Result{}, nil
+	}
+	fl := &flight{hash: hash, spec: norm, done: make(chan struct{})}
+	select {
+	case s.queue <- fl:
+		s.inflight[hash] = fl
+		s.misses.Add(1)
+		return fl, OutcomeMiss, Result{}, nil
+	default:
+		s.rejected.Add(1)
+		return nil, "", Result{}, ErrQueueFull
+	}
+}
+
+// SubmitAsync admits a spec and returns immediately with a job whose
+// progress GET-style polling reads through Job. Cache hits return an
+// already-done job; backpressure still applies.
+func (s *Service) SubmitAsync(spec RunSpec) (JobView, error) {
+	fl, outcome, res, err := s.admit(spec)
+	if err != nil {
+		return JobView{}, err
+	}
+	j := &job{outcome: outcome}
+	if outcome == OutcomeHit {
+		j.hash, j.body = res.Hash, res.Body
+	} else {
+		j.hash, j.fl = fl.hash, fl
+	}
+	s.mu.Lock()
+	j.id = fmt.Sprintf("r%06d-%s", s.seq.Add(1), j.hash[:12])
+	s.jobs[j.id] = j
+	s.jobOrder = append(s.jobOrder, j.id)
+	s.evictJobsLocked()
+	s.mu.Unlock()
+	return s.view(j), nil
+}
+
+// evictJobsLocked drops the oldest finished jobs past maxJobs; unfinished
+// jobs are never evicted, so a pending ID stays pollable.
+func (s *Service) evictJobsLocked() {
+	for i := 0; len(s.jobs) > maxJobs && i < len(s.jobOrder); {
+		id := s.jobOrder[i]
+		j, ok := s.jobs[id]
+		if ok && j.fl != nil {
+			select {
+			case <-j.fl.done:
+				// finished: evictable
+			default:
+				i++
+				continue
+			}
+		}
+		delete(s.jobs, id)
+		s.jobOrder = append(s.jobOrder[:i], s.jobOrder[i+1:]...)
+	}
+}
+
+// Job returns the current view of an async submission.
+func (s *Service) Job(id string) (JobView, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return JobView{}, fmt.Errorf("%w: %q", ErrUnknownJob, id)
+	}
+	return s.view(j), nil
+}
+
+// view snapshots a job, resolving its flight state.
+func (s *Service) view(j *job) JobView {
+	v := JobView{ID: j.id, Hash: j.hash, Outcome: j.outcome}
+	if j.fl == nil {
+		v.Status, v.Body = JobDone, j.body
+		return v
+	}
+	select {
+	case <-j.fl.done:
+		if j.fl.err != nil {
+			v.Status, v.Error = JobFailed, j.fl.err.Error()
+		} else {
+			v.Status, v.Body = JobDone, j.fl.body
+		}
+	default:
+		if j.fl.started.Load() {
+			v.Status = JobRunning
+		} else {
+			v.Status = JobQueued
+		}
+	}
+	return v
+}
+
+// Stats is a point-in-time operational snapshot, served at /v1/stats.
+type Stats struct {
+	Hits         uint64  `json:"hits"`
+	Misses       uint64  `json:"misses"`
+	Coalesced    uint64  `json:"coalesced"`
+	Rejected     uint64  `json:"rejected"`
+	Completed    uint64  `json:"completed"`
+	Failed       uint64  `json:"failed"`
+	QueueDepth   int     `json:"queue_depth"`
+	QueueCap     int     `json:"queue_cap"`
+	Inflight     int     `json:"inflight"`
+	Workers      int     `json:"workers"`
+	CacheEntries int     `json:"cache_entries"`
+	CacheCap     int     `json:"cache_cap"`
+	P50Ms        float64 `json:"p50_ms"`
+	P95Ms        float64 `json:"p95_ms"`
+}
+
+// Stats snapshots the counters and the execution-latency percentiles over
+// the configured window.
+func (s *Service) Stats() Stats {
+	s.mu.Lock()
+	inflight := len(s.inflight)
+	s.mu.Unlock()
+	s.latMu.Lock()
+	window := make([]float64, s.latN)
+	copy(window, s.latSec[:s.latN])
+	s.latMu.Unlock()
+	st := Stats{
+		Hits:         s.hits.Load(),
+		Misses:       s.misses.Load(),
+		Coalesced:    s.coalesced.Load(),
+		Rejected:     s.rejected.Load(),
+		Completed:    s.completed.Load(),
+		Failed:       s.failed.Load(),
+		QueueDepth:   len(s.queue),
+		QueueCap:     cap(s.queue),
+		Inflight:     inflight,
+		Workers:      s.cfg.Workers,
+		CacheEntries: s.cache.Len(),
+		CacheCap:     s.cfg.CacheEntries,
+	}
+	if len(window) > 0 {
+		st.P50Ms = stats.Percentile(window, 50) * 1e3
+		st.P95Ms = stats.Percentile(window, 95) * 1e3
+	}
+	return st
+}
+
+func (s *Service) recordLatency(sec float64) {
+	s.latMu.Lock()
+	s.latSec[s.latIdx] = sec
+	s.latIdx = (s.latIdx + 1) % len(s.latSec)
+	if s.latN < len(s.latSec) {
+		s.latN++
+	}
+	s.latMu.Unlock()
+}
+
+// Shutdown stops the service gracefully: new submissions are rejected
+// with ErrClosed, queued and running jobs finish, and the worker fleet
+// exits. If ctx expires first, the remaining work is cancelled and
+// Shutdown returns ctx.Err() without blocking further: executors that
+// ignore their context (the in-process experiment harnesses) cannot be
+// interrupted mid-simulation, so their workers keep draining in the
+// background — idle workers fast-fail the still-queued flights with
+// ErrClosed, and every waiter resolves as its flight is reached.
+func (s *Service) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		// No sender can race this close: every send happens under s.mu
+		// with the closed flag checked first.
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	select {
+	case <-s.fleet:
+	case <-ctx.Done():
+		s.cancel()
+		select {
+		case <-s.fleet:
+		default:
+			return ctx.Err()
+		}
+	}
+	s.cancel()
+	// Normally the fleet drains the queue before exiting; if it was
+	// cancelled before ever dequeuing, resolve any stranded flights so no
+	// waiter blocks forever.
+	for {
+		fl, ok := <-s.queue
+		if !ok {
+			return nil
+		}
+		s.finish(fl, nil, ErrClosed)
+	}
+}
+
+// Close is Shutdown with no grace: it cancels outstanding work and
+// returns immediately. Waiters resolve as workers observe the
+// cancellation; an executor that ignores its context finishes on its own
+// time in the background — Close does not wait for it.
+func (s *Service) Close() {
+	s.cancel()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_ = s.Shutdown(ctx)
+}

@@ -51,14 +51,16 @@ func (r *Recorder) Len() int {
 	return len(r.points)
 }
 
-// WriteCSV emits the series with a header, one row per interval.
+// WriteCSV emits the series with a header, one row per interval. Every
+// field a Point records is a column, including the raw per-interval
+// instruction and energy counts the TIPI/JPI ratios derive from.
 func (r *Recorder) WriteCSV(w io.Writer) error {
-	if _, err := fmt.Fprintln(w, "time_s,tipi,jpi_nj,cf_ghz,uf_ghz"); err != nil {
+	if _, err := fmt.Fprintln(w, "time_s,tipi,jpi_nj,instr,joules,cf_ghz,uf_ghz"); err != nil {
 		return err
 	}
 	for _, p := range r.Points() {
-		_, err := fmt.Fprintf(w, "%.4f,%.5f,%.4f,%.1f,%.1f\n",
-			p.Time, p.TIPI, p.JPI*1e9, p.CF.GHz(), p.UF.GHz())
+		_, err := fmt.Fprintf(w, "%.4f,%.5f,%.4f,%d,%.4f,%.1f,%.1f\n",
+			p.Time, p.TIPI, p.JPI*1e9, p.Instr, p.Joules, p.CF.GHz(), p.UF.GHz())
 		if err != nil {
 			return err
 		}

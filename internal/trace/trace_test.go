@@ -34,7 +34,8 @@ func TestPointsReturnsCopy(t *testing.T) {
 
 func TestWriteCSV(t *testing.T) {
 	var r Recorder
-	r.Add(Point{Time: 0.02, TIPI: 0.064, JPI: 4.2e-9, CF: freq.Ratio(12), UF: freq.Ratio(22)})
+	r.Add(Point{Time: 0.02, TIPI: 0.064, JPI: 4.2e-9, Instr: 1_250_000, Joules: 0.84,
+		CF: freq.Ratio(12), UF: freq.Ratio(22)})
 	var sb strings.Builder
 	if err := r.WriteCSV(&sb); err != nil {
 		t.Fatal(err)
@@ -44,11 +45,32 @@ func TestWriteCSV(t *testing.T) {
 	if len(lines) != 2 {
 		t.Fatalf("csv lines = %d, want header + 1 row", len(lines))
 	}
-	if lines[0] != "time_s,tipi,jpi_nj,cf_ghz,uf_ghz" {
+	if lines[0] != "time_s,tipi,jpi_nj,instr,joules,cf_ghz,uf_ghz" {
 		t.Errorf("header = %q", lines[0])
 	}
-	if lines[1] != "0.0200,0.06400,4.2000,1.2,2.2" {
+	if lines[1] != "0.0200,0.06400,4.2000,1250000,0.8400,1.2,2.2" {
 		t.Errorf("row = %q", lines[1])
+	}
+}
+
+// TestWriteCSVColumnCount guards the header/row contract: every column in
+// the header must have a value in every data row (the Instr/Joules columns
+// were once recorded but silently dropped from the CSV).
+func TestWriteCSVColumnCount(t *testing.T) {
+	var r Recorder
+	r.Add(Point{Time: 0.04, TIPI: 0.01, JPI: 1e-9, Instr: 42, Joules: 0.5})
+	var sb strings.Builder
+	if err := r.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	header := strings.Split(lines[0], ",")
+	row := strings.Split(lines[1], ",")
+	if len(header) != len(row) {
+		t.Fatalf("header has %d columns, row has %d", len(header), len(row))
+	}
+	if len(header) != 7 {
+		t.Errorf("columns = %d, want 7 (time, tipi, jpi, instr, joules, cf, uf)", len(header))
 	}
 }
 
