@@ -3,13 +3,20 @@
 // worker fleet, coalesces identical in-flight requests and serves
 // repeated specs from a content-addressed LRU result cache.
 //
-//	cfserve -addr :8080 -service-workers 4 -queue 32 -cache 512
+//	cfserve -addr :8080 -service-workers 4 -queue 32 -cache 512 -store /var/lib/cfserve
 //
-//	POST /v1/runs            run a spec, wait for the report
-//	POST /v1/runs?async=1    enqueue, poll GET /v1/runs/{id}
-//	GET  /v1/governors       registered strategies
-//	GET  /v1/stats           hits / misses / coalesced / queue / latency
-//	GET  /healthz            liveness
+// -store adds a persistent content-addressed tier below the LRU: every
+// finished execution is written through to disk, and a restarted (or a
+// second, directory-sharing) instance serves those specs without
+// recomputing them.
+//
+//	POST   /v1/runs          run a spec, wait for the report
+//	POST   /v1/runs?async=1  enqueue, poll GET /v1/runs/{id}
+//	GET    /v1/governors     registered strategies
+//	GET    /v1/stats         hits / misses / coalesced / queue / latency
+//	GET    /v1/cache         cache tiers (LRU entries/bytes, store path/size)
+//	DELETE /v1/cache         purge LRU + store
+//	GET    /healthz          liveness
 //
 // SIGINT/SIGTERM drain gracefully: in-flight runs finish, then the
 // process exits.
@@ -28,28 +35,39 @@ import (
 	"time"
 
 	"repro/internal/service"
+	"repro/internal/store"
 )
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		workers = flag.Int("service-workers", 0, "worker fleet size (0 = GOMAXPROCS)")
-		queue   = flag.Int("queue", 0, "job queue depth before 429 rejection (0 = 16)")
-		cache   = flag.Int("cache", 0, "result cache entries (0 = 256)")
-		grace   = flag.Duration("grace", 30*time.Second, "graceful shutdown deadline")
+		addr     = flag.String("addr", ":8080", "listen address")
+		workers  = flag.Int("service-workers", 0, "worker fleet size (0 = GOMAXPROCS)")
+		queue    = flag.Int("queue", 0, "job queue depth before 429 rejection (0 = 16)")
+		cache    = flag.Int("cache", 0, "result cache entries (0 = 256)")
+		storeDir = flag.String("store", "", "persistent result store directory (empty = memory only); survives restarts and may be shared between instances")
+		storeMax = flag.Int64("store-max-bytes", 0, "prune the store oldest-first past this many payload bytes (0 = unbounded)")
+		grace    = flag.Duration("grace", 30*time.Second, "graceful shutdown deadline")
 	)
 	flag.Parse()
-	if err := run(*addr, *workers, *queue, *cache, *grace); err != nil {
+	if err := run(*addr, *workers, *queue, *cache, *storeDir, *storeMax, *grace); err != nil {
 		fmt.Fprintf(os.Stderr, "cfserve: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, workers, queue, cache int, grace time.Duration) error {
+func run(addr string, workers, queue, cache int, storeDir string, storeMax int64, grace time.Duration) error {
 	// Engine knobs (sim_workers, batch_quanta) travel inside each spec —
 	// they are part of the content hash, so the server never rewrites
 	// them behind the cache key's back.
 	cfg := service.Config{Workers: workers, QueueDepth: queue, CacheEntries: cache}
+	if storeDir != "" {
+		st, err := store.Open(storeDir, storeMax)
+		if err != nil {
+			return err
+		}
+		log.Printf("cfserve: store %s: %d entries, %d bytes", storeDir, st.Len(), st.Bytes())
+		cfg.Store = st
+	}
 	svc := service.New(cfg)
 	defer svc.Close()
 

@@ -6,7 +6,7 @@
 //	cuttlefish [flags] <experiment> [flags]
 //
 // Experiments: table1, fig2, fig3a, fig3b, fig10, fig11, table2, table3,
-// ablation, ddcm, oracle, run, all
+// ablation, ddcm, oracle, run, sweep, all
 //
 // Flags may appear before or after the experiment name. -governor runs the
 // single-environment experiments (table1, run) under any registered
@@ -25,15 +25,30 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/governor"
+	"repro/internal/orchestrator"
 	"repro/internal/report"
 	"repro/internal/service"
+	"repro/internal/store"
 )
 
 var (
 	format    = "text"
 	remote    = ""
 	benchName = ""
+	sweepSpec = ""
+	storeDir  = ""
+	backends  stringList
 )
+
+// stringList collects a repeatable flag (-backend may be given once per
+// cfserve instance).
+type stringList []string
+
+func (l *stringList) String() string { return strings.Join(*l, ",") }
+func (l *stringList) Set(v string) error {
+	*l = append(*l, v)
+	return nil
+}
 
 func main() {
 	opt := experiments.DefaultOptions()
@@ -49,6 +64,9 @@ func main() {
 	flag.StringVar(&format, "format", format, "report format: text | json | csv")
 	flag.StringVar(&remote, "remote", remote, "execute against a cfserve instance at this URL instead of in-process (e.g. http://localhost:8080)")
 	flag.StringVar(&benchName, "bench", benchName, "benchmark for the \"run\" experiment (Table 1 name)")
+	flag.StringVar(&sweepSpec, "spec", sweepSpec, "sweep spec file (JSON) for the \"sweep\" subcommand")
+	flag.Var(&backends, "backend", "cfserve URL the \"sweep\" subcommand dispatches to (repeatable; default: run in-process)")
+	flag.StringVar(&storeDir, "store", storeDir, "persistent result store directory for in-process sweeps")
 	listGov := flag.Bool("list-governors", false, "list registered governors and exit")
 	flag.Usage = usage
 	flag.Parse()
@@ -103,6 +121,7 @@ experiments:
   ddcm     DVFS vs duty-cycle modulation at matched throttle
   oracle   daemon's chosen optima vs exhaustive (CF,UF) sweep
   run      one benchmark under one governor (-bench <name>, Reps rows)
+  sweep    expand a parameter grid (-spec file.json) across backends
   all      everything above in sequence
 
 strategies are constructed through the governor registry; -governor swaps
@@ -114,6 +133,12 @@ registered: %s
 running in-process; identical specs are served from the server's
 content-addressed result cache:
   cuttlefish -remote http://localhost:8080 run -bench Heat-irt -format json
+
+sweep fans a declarative parameter grid (governors × benchmarks ×
+tinv/cores/reps/seeds/scales, listed or sampled) across one or more
+cfserve backends with least-loaded dispatch, retry and failover, then
+aggregates a cross-product comparison (best-per-cell + Pareto rows):
+  cuttlefish sweep -spec sweep.json -backend http://a:8080 -backend http://b:8080
 
 flags (before or after the experiment):
 `, strings.Join(governor.Names(), ", "))
@@ -133,6 +158,9 @@ func run(name string, opt experiments.Options, format string) error {
 	if name == "run" && benchName == "" {
 		return fmt.Errorf("the run experiment needs -bench <name>")
 	}
+	if name == "sweep" {
+		return runSweep(opt, format)
+	}
 	if name == "all" {
 		for _, e := range []string{"table1", "fig2", "fig3a", "fig3b", "fig10", "fig11", "table2", "table3", "ablation", "ddcm"} {
 			if err := run(e, opt, format); err != nil {
@@ -146,6 +174,81 @@ func run(name string, opt experiments.Options, format string) error {
 		return runRemote(name, opt, format)
 	}
 	rep, err := build(name, opt)
+	if err != nil {
+		return err
+	}
+	return rep.Write(os.Stdout, format)
+}
+
+// runSweep expands a sweep spec and dispatches it over the configured
+// backends — every -backend URL, plus -remote for symmetry with the
+// other subcommands; with none it runs in-process (optionally with a
+// persistent -store, so warm re-runs cost nothing there too). Progress
+// and the operational summary go to stderr; the aggregated report —
+// deterministic across backend topologies — goes to stdout in -format.
+func runSweep(opt experiments.Options, format string) error {
+	if sweepSpec == "" {
+		return fmt.Errorf("the sweep subcommand needs -spec <file.json>")
+	}
+	raw, err := os.ReadFile(sweepSpec)
+	if err != nil {
+		return err
+	}
+	sweep, err := orchestrator.ParseSweepSpec(raw)
+	if err != nil {
+		return err
+	}
+	urls := append(stringList(nil), backends...)
+	if remote != "" {
+		urls = append(urls, remote)
+	}
+	var pool []orchestrator.Backend
+	if len(urls) == 0 {
+		cfg := service.Config{Workers: opt.Workers, QueueDepth: 64}
+		if storeDir != "" {
+			st, err := store.Open(storeDir, 0)
+			if err != nil {
+				return err
+			}
+			cfg.Store = st
+		}
+		svc := service.New(cfg)
+		defer svc.Close()
+		pool = append(pool, &orchestrator.LocalBackend{Service: svc})
+	} else {
+		for _, u := range urls {
+			pool = append(pool, orchestrator.NewRemoteBackend(u))
+		}
+	}
+	o, err := orchestrator.New(orchestrator.Config{
+		Backends: pool,
+		OnEvent: func(ev orchestrator.Event) {
+			target := ev.Spec.Experiment
+			if ev.Spec.Benchmark != "" {
+				target += "/" + ev.Spec.Benchmark
+			}
+			if ev.Spec.Governor != "" {
+				target += "/" + ev.Spec.Governor
+			}
+			if ev.Err != nil {
+				fmt.Fprintf(os.Stderr, "sweep: attempt %d for %s failed on %s: %v\n", ev.Attempt, target, ev.Backend, ev.Err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "sweep: %d/%d %s seed=%d (%s via %s)\n",
+				ev.Done, ev.Total, target, ev.Spec.Seed, ev.Outcome, ev.Backend)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	res, err := o.Run(context.Background(), sweep)
+	if res != nil {
+		fmt.Fprintf(os.Stderr, "sweep: %s\n", res.Summary)
+	}
+	if err != nil {
+		return err
+	}
+	rep, err := orchestrator.Aggregate(sweep.Name, res.Results)
 	if err != nil {
 		return err
 	}

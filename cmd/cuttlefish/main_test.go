@@ -2,9 +2,12 @@ package main
 
 import (
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"repro/internal/experiments"
+	"repro/internal/store"
 )
 
 func tinyOptions() experiments.Options {
@@ -63,6 +66,65 @@ func TestRunExperimentRequiresBench(t *testing.T) {
 	benchName = ""
 	if err := run("run", tinyOptions(), "text"); err == nil {
 		t.Error("run without -bench must error")
+	}
+}
+
+// TestSweepRequiresSpec: the sweep subcommand must fail fast without a
+// -spec file, and on an unreadable or invalid one.
+func TestSweepRequiresSpec(t *testing.T) {
+	sweepSpec = ""
+	if err := run("sweep", tinyOptions(), "text"); err == nil {
+		t.Error("sweep without -spec must error")
+	}
+	sweepSpec = filepath.Join(t.TempDir(), "nope.json")
+	if err := run("sweep", tinyOptions(), "text"); err == nil {
+		t.Error("sweep with a missing spec file must error")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"axes": {"benchmarcks": []}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sweepSpec = bad
+	defer func() { sweepSpec = "" }()
+	if err := run("sweep", tinyOptions(), "text"); err == nil {
+		t.Error("sweep with a typoed axis must error")
+	}
+}
+
+// TestSweepInProcessEndToEnd drives a tiny real sweep through the CLI
+// path: in-process backend, persistent store, warm re-run from disk.
+func TestSweepInProcessEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	specFile := filepath.Join(dir, "sweep.json")
+	spec := `{
+		"name": "cli-test",
+		"axes": {
+			"benchmarks": ["UTS"],
+			"governors": ["default", "cuttlefish"],
+			"scales": [0.02],
+			"reps": [1]
+		}
+	}`
+	if err := os.WriteFile(specFile, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sweepSpec = specFile
+	storeDir = filepath.Join(dir, "store")
+	defer func() { sweepSpec, storeDir = "", "" }()
+	o := tinyOptions()
+	if err := run("sweep", o, "json"); err != nil {
+		t.Fatalf("cold sweep: %v", err)
+	}
+	// Warm re-run: everything must come from the persistent store.
+	if err := run("sweep", o, "json"); err != nil {
+		t.Fatalf("warm sweep: %v", err)
+	}
+	st, err := store.Open(storeDir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Len() != 2 {
+		t.Errorf("store holds %d entries, want 2 (one per grid point)", st.Len())
 	}
 }
 

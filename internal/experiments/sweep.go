@@ -6,6 +6,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/freq"
 	"repro/internal/governor"
+	"repro/internal/grid"
 	"repro/internal/machine"
 )
 
@@ -35,14 +36,17 @@ func Sweep(name string, opt Options, cfStride, ufStride int) ([]SweepPoint, erro
 		ufStride = 1
 	}
 	mcfg := machine.DefaultConfig()
-	var grid []SweepPoint
-	for cf := mcfg.CoreGrid.Min; cf <= mcfg.CoreGrid.Max; cf += freq.Ratio(cfStride) {
-		for uf := mcfg.UncoreGrid.Min; uf <= mcfg.UncoreGrid.Max; uf += freq.Ratio(ufStride) {
-			grid = append(grid, SweepPoint{CF: cf, UF: uf})
-		}
-	}
-	err := forEach(len(grid), opt, func(i int) error {
-		p := &grid[i]
+	// The (CF, UF) axes expand through the shared grid walk — the same
+	// cross-product mechanism the sweep orchestrator uses for its
+	// parameter axes — instead of a hand-rolled nested loop.
+	cfs := ratioSteps(mcfg.CoreGrid.Min, mcfg.CoreGrid.Max, cfStride)
+	ufs := ratioSteps(mcfg.UncoreGrid.Min, mcfg.UncoreGrid.Max, ufStride)
+	points := make([]SweepPoint, 0, grid.Size([]int{len(cfs), len(ufs)}))
+	grid.Cross([]int{len(cfs), len(ufs)}, func(idx []int) {
+		points = append(points, SweepPoint{CF: cfs[idx[0]], UF: ufs[idx[1]]})
+	})
+	err := forEach(len(points), opt, func(i int) error {
+		p := &points[i]
 		mcfg := opt.machineConfig()
 		m, err := machine.New(mcfg)
 		if err != nil {
@@ -68,7 +72,17 @@ func Sweep(name string, opt Options, cfStride, ufStride int) ([]SweepPoint, erro
 		p.JPI = p.Joules / m.TotalInstructions()
 		return nil
 	})
-	return grid, err
+	return points, err
+}
+
+// ratioSteps lists the frequency grid's strided steps from min to max
+// inclusive.
+func ratioSteps(min, max freq.Ratio, stride int) []freq.Ratio {
+	var steps []freq.Ratio
+	for r := min; r <= max; r += freq.Ratio(stride) {
+		steps = append(steps, r)
+	}
+	return steps
 }
 
 // OracleResult compares the daemon's end-state frequencies against the

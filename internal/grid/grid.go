@@ -1,0 +1,96 @@
+// Package grid is the shared parameter-grid toolkit: cartesian
+// expansion of axis value lists, and seeded bounded-support samplers for
+// randomized axes. The sweep orchestrator expands SweepSpec axes through
+// it, and the experiments package builds its (CF, UF) frequency grids on
+// the same cross-product walk — one expansion mechanism instead of
+// hand-rolled nested loops per call site.
+//
+// Everything here is deterministic by construction: Cross walks the
+// product in row-major order, and the samplers derive every draw from an
+// explicit seed through an inverse CDF — so a generated scenario is a
+// pure function of its spec, which keeps generated runs content-
+// addressable just like hand-listed ones.
+package grid
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Cross calls fn once per point of the cartesian product of the given
+// axis lengths, in row-major order (the last axis varies fastest). The
+// index slice is reused between calls; copy it if retained. Axes of
+// length zero make the product empty.
+func Cross(lens []int, fn func(idx []int)) {
+	for _, n := range lens {
+		if n <= 0 {
+			return
+		}
+	}
+	if len(lens) == 0 {
+		return
+	}
+	idx := make([]int, len(lens))
+	for {
+		fn(idx)
+		// Odometer increment, last axis fastest.
+		i := len(idx) - 1
+		for ; i >= 0; i-- {
+			idx[i]++
+			if idx[i] < lens[i] {
+				break
+			}
+			idx[i] = 0
+		}
+		if i < 0 {
+			return
+		}
+	}
+}
+
+// Size returns the number of points Cross visits: the product of the
+// axis lengths (zero if any axis is empty).
+func Size(lens []int) int {
+	n := 1
+	for _, l := range lens {
+		if l <= 0 {
+			return 0
+		}
+		n *= l
+	}
+	if len(lens) == 0 {
+		return 0
+	}
+	return n
+}
+
+// Kumaraswamy draws n deterministic samples from the Kumaraswamy(a, b)
+// distribution — CDF F(x) = 1 − (1 − x^a)^b on [0, 1] — rescaled onto
+// [min, max]. The distribution is the bounded-support workhorse for
+// randomized scenario axes (phase lengths, imbalance factors): its
+// inverse CDF is closed-form, so each draw is one uniform variate from
+// the seeded generator pushed through
+//
+//	x = (1 − (1 − u)^{1/b})^{1/a}
+//
+// making the whole sample a pure function of (a, b, n, seed, min, max).
+func Kumaraswamy(a, b float64, n int, seed int64, min, max float64) ([]float64, error) {
+	if a <= 0 || b <= 0 {
+		return nil, fmt.Errorf("grid: kumaraswamy shape parameters must be positive, got a=%g b=%g", a, b)
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("grid: sample count must be positive, got %d", n)
+	}
+	if min > max {
+		return nil, fmt.Errorf("grid: inverted support [%g, %g]", min, max)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, n)
+	for i := range out {
+		u := rng.Float64()
+		x := math.Pow(1-math.Pow(1-u, 1/b), 1/a)
+		out[i] = min + x*(max-min)
+	}
+	return out, nil
+}

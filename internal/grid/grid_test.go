@@ -1,0 +1,102 @@
+package grid
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestCrossRowMajorOrder(t *testing.T) {
+	var got [][]int
+	Cross([]int{2, 3}, func(idx []int) {
+		got = append(got, append([]int(nil), idx...))
+	})
+	want := [][]int{{0, 0}, {0, 1}, {0, 2}, {1, 0}, {1, 1}, {1, 2}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Cross(2,3) order = %v, want %v", got, want)
+	}
+}
+
+func TestCrossDegenerateAxes(t *testing.T) {
+	calls := 0
+	Cross(nil, func([]int) { calls++ })
+	Cross([]int{3, 0, 2}, func([]int) { calls++ })
+	if calls != 0 {
+		t.Errorf("empty products visited %d points, want 0", calls)
+	}
+	Cross([]int{1}, func([]int) { calls++ })
+	if calls != 1 {
+		t.Errorf("single-point product visited %d points, want 1", calls)
+	}
+}
+
+func TestSizeMatchesCross(t *testing.T) {
+	for _, lens := range [][]int{{2, 3}, {1}, {4, 1, 2}, {0, 5}, nil} {
+		visited := 0
+		Cross(lens, func([]int) { visited++ })
+		if got := Size(lens); got != visited {
+			t.Errorf("Size(%v) = %d, Cross visited %d", lens, got, visited)
+		}
+	}
+}
+
+func TestKumaraswamyDeterministicAndBounded(t *testing.T) {
+	a, err := Kumaraswamy(2, 3, 100, 42, 0.01, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Kumaraswamy(2, 3, 100, 42, 0.01, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("same seed must reproduce the same sample bit for bit")
+	}
+	for i, x := range a {
+		if x < 0.01 || x > 0.5 || math.IsNaN(x) {
+			t.Fatalf("sample %d = %g escapes [0.01, 0.5]", i, x)
+		}
+	}
+	c, err := Kumaraswamy(2, 3, 100, 43, 0.01, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Error("different seeds should draw different samples")
+	}
+}
+
+// TestKumaraswamyShape sanity-checks the inverse CDF against the
+// analytic mean: for a = 1 the distribution is Beta(1, b) with mean
+// 1/(1+b).
+func TestKumaraswamyShape(t *testing.T) {
+	xs, err := Kumaraswamy(1, 4, 20000, 7, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	mean := sum / float64(len(xs))
+	if want := 1.0 / 5.0; math.Abs(mean-want) > 0.01 {
+		t.Errorf("empirical mean = %g, want ≈ %g", mean, want)
+	}
+}
+
+func TestKumaraswamyRejectsBadParams(t *testing.T) {
+	for _, tc := range []struct {
+		a, b     float64
+		n        int
+		min, max float64
+	}{
+		{0, 1, 5, 0, 1},
+		{1, -2, 5, 0, 1},
+		{1, 1, 0, 0, 1},
+		{1, 1, 5, 2, 1},
+	} {
+		if _, err := Kumaraswamy(tc.a, tc.b, tc.n, 1, tc.min, tc.max); err == nil {
+			t.Errorf("Kumaraswamy(%+v) accepted invalid parameters", tc)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package orchestrator
+
+import (
+	"fmt"
+
+	"repro/internal/report"
+	"repro/internal/service"
+	"repro/internal/stats"
+)
+
+// Aggregate folds a sweep's per-spec reports into one cross-product
+// comparison report: a row per spec with its mean energy/runtime, the
+// best-per-cell winners and the per-cell Pareto front.
+//
+// A "cell" is a grid point with the governor axis removed — the rows
+// competing in a cell differ only in governor, so best_energy /
+// best_runtime / pareto answer "which strategy wins here". Every cell
+// value derives from the specs and their canonical report bytes alone
+// (never from which backend served them or how), so the aggregated rows
+// are byte-identical across any backend topology, retry history or
+// cache state — the property the CI failover smoke asserts.
+func Aggregate(sweepName string, results []SpecResult) (*report.RunReport, error) {
+	type rowData struct {
+		spec    service.RunSpec
+		hash    string
+		seconds float64
+		joules  float64
+		cell    string
+	}
+	rows := make([]rowData, 0, len(results))
+	cells := map[string][]int{} // cell key → row indices, expansion order
+	for _, r := range results {
+		if r.Err != nil {
+			return nil, fmt.Errorf("orchestrator: cannot aggregate, spec %s failed: %w", r.Hash[:12], r.Err)
+		}
+		rep, err := report.Decode(r.Body)
+		if err != nil {
+			return nil, fmt.Errorf("orchestrator: spec %s returned undecodable bytes: %w", r.Hash[:12], err)
+		}
+		sec, joules := meanColumns(rep)
+		cellSpec := r.Spec
+		cellSpec.Governor = ""
+		rd := rowData{spec: r.Spec, hash: r.Hash, seconds: sec, joules: joules, cell: cellSpec.Hash()}
+		cells[rd.cell] = append(cells[rd.cell], len(rows))
+		rows = append(rows, rd)
+	}
+
+	bestEnergy := map[int]bool{}
+	bestRuntime := map[int]bool{}
+	pareto := map[int]bool{}
+	for _, members := range cells {
+		minJ, minS := -1, -1
+		for _, i := range members {
+			if rows[i].joules > 0 && (minJ < 0 || rows[i].joules < rows[minJ].joules) {
+				minJ = i
+			}
+			if rows[i].seconds > 0 && (minS < 0 || rows[i].seconds < rows[minS].seconds) {
+				minS = i
+			}
+		}
+		for _, i := range members {
+			if minJ >= 0 && rows[i].joules == rows[minJ].joules {
+				bestEnergy[i] = true
+			}
+			if minS >= 0 && rows[i].seconds == rows[minS].seconds {
+				bestRuntime[i] = true
+			}
+			pareto[i] = !dominated(rows[i].joules, rows[i].seconds, members, func(j int) (float64, float64) {
+				return rows[j].joules, rows[j].seconds
+			}, i)
+		}
+	}
+
+	out := report.New("sweep",
+		"benchmark", "governor", "tinv_sec", "cores", "reps", "seed", "scale",
+		"seconds", "joules", "avg_watts", "edp",
+		"best_energy", "best_runtime", "pareto", "spec")
+	name := sweepName
+	if name == "" {
+		name = "sweep"
+	}
+	out.Title = fmt.Sprintf("Sweep %s: %d spec(s) across %d cell(s)", name, len(rows), len(cells))
+	out.Meta = map[string]any{"sweep": name, "specs": len(rows), "cells": len(cells)}
+	for i, rd := range rows {
+		watts := 0.0
+		if rd.seconds > 0 {
+			watts = rd.joules / rd.seconds
+		}
+		out.AddRow(rd.spec.Benchmark, rd.spec.Governor, rd.spec.TinvSec, rd.spec.Cores,
+			rd.spec.Reps, rd.spec.Seed, rd.spec.Scale,
+			rd.seconds, rd.joules, watts, stats.EDP(rd.joules, rd.seconds),
+			bestEnergy[i], bestRuntime[i], pareto[i], rd.hash[:12])
+	}
+	return out, nil
+}
+
+// dominated reports whether row i's (joules, seconds) point is strictly
+// dominated by another member of its cell: some row is no worse on both
+// axes and better on at least one. Rows without measurements (zeroes)
+// neither dominate nor join the front.
+func dominated(j, s float64, members []int, get func(int) (float64, float64), self int) bool {
+	if j <= 0 || s <= 0 {
+		return true
+	}
+	for _, m := range members {
+		if m == self {
+			continue
+		}
+		oj, os := get(m)
+		if oj <= 0 || os <= 0 {
+			continue
+		}
+		if oj <= j && os <= s && (oj < j || os < s) {
+			return true
+		}
+	}
+	return false
+}
+
+// meanColumns extracts the mean "seconds" and "joules" over a report's
+// rows; reports without those columns (non-"run" experiments) yield
+// zeroes and are carried through unaggregated.
+func meanColumns(rep *report.RunReport) (seconds, joules float64) {
+	var secs, js []float64
+	for _, row := range rep.Rows {
+		if v, ok := row["seconds"].(float64); ok {
+			secs = append(secs, v)
+		}
+		if v, ok := row["joules"].(float64); ok {
+			js = append(js, v)
+		}
+	}
+	if len(secs) > 0 {
+		seconds = stats.Mean(secs)
+	}
+	if len(js) > 0 {
+		joules = stats.Mean(js)
+	}
+	return seconds, joules
+}

@@ -1,0 +1,324 @@
+package orchestrator
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/service"
+)
+
+// Config tunes a sweep run.
+type Config struct {
+	// Backends execute the specs; at least one is required.
+	Backends []Backend
+	// Concurrency bounds in-flight specs across all backends
+	// (0 = 2 × len(Backends)).
+	Concurrency int
+	// Attempts caps executions tried per spec, across failovers
+	// (0 = 2 × len(Backends) + 1).
+	Attempts int
+	// RetryBase is the first inter-attempt backoff; attempt k waits
+	// service.Backoff(k): RetryBase·2^k jittered, capped at RetryMax
+	// (0 = 200ms / 5s).
+	RetryBase time.Duration
+	RetryMax  time.Duration
+	// OnEvent observes progress (completed specs and failover attempts);
+	// nil means silent. Called from dispatcher goroutines, serialized.
+	OnEvent func(Event)
+}
+
+// Event is one progress observation.
+type Event struct {
+	// Done and Total count completed and expanded specs; Done is 0 for
+	// failover (attempt-failed) events.
+	Done, Total int
+	Spec        service.RunSpec
+	Hash        string
+	Backend     string
+	Outcome     service.Outcome
+	Attempt     int
+	// Err is the attempt's failure; nil for completion events.
+	Err error
+}
+
+// SpecResult is one spec's final fate.
+type SpecResult struct {
+	Spec    service.RunSpec
+	Hash    string
+	Body    []byte
+	Outcome service.Outcome
+	// Backend served the final successful attempt.
+	Backend string
+	// Attempts counts executions tried, 1 for a first-try success.
+	Attempts int
+	// Err is non-nil when every attempt failed; Body is then nil.
+	Err error
+}
+
+// BackendStats is one backend's tally over a sweep.
+type BackendStats struct {
+	Runs     int `json:"runs"`
+	Failures int `json:"failures"`
+}
+
+// Summary is a sweep's operational outcome. Executed counts specs a
+// backend actually simulated (miss or coalesced); Hits/DiskHits came
+// from cache tiers and cost nothing.
+type Summary struct {
+	Specs     int                     `json:"specs"`
+	Executed  int                     `json:"executed"`
+	Hits      int                     `json:"hits"`
+	DiskHits  int                     `json:"disk_hits"`
+	Failovers int                     `json:"failovers"`
+	Failed    int                     `json:"failed"`
+	Backends  map[string]BackendStats `json:"backends"`
+}
+
+// String renders the one-line operational summary the CLI prints (and
+// the CI smoke job greps): counts are colon/comma-delimited so
+// "executed: 0" matches unambiguously.
+func (s Summary) String() string {
+	names := make([]string, 0, len(s.Backends))
+	for n := range s.Backends {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	per := make([]string, len(names))
+	for i, n := range names {
+		b := s.Backends[n]
+		per[i] = fmt.Sprintf("%s %d run(s) %d failure(s)", n, b.Runs, b.Failures)
+	}
+	return fmt.Sprintf("%d spec(s), executed: %d, cache hits: %d, disk hits: %d, failovers: %d, failed: %d [%s]",
+		s.Specs, s.Executed, s.Hits, s.DiskHits, s.Failovers, s.Failed, strings.Join(per, "; "))
+}
+
+// SweepResult is a completed sweep: per-spec results in expansion
+// order, the aggregated comparison report, and the summary.
+type SweepResult struct {
+	Specs   []service.RunSpec
+	Results []SpecResult
+	Summary Summary
+}
+
+// backendState is the dispatcher's book-keeping for one backend.
+type backendState struct {
+	inflight int
+	// consecutiveFails quarantines a backend after quarantineAfter
+	// failures in a row; any success clears it.
+	consecutiveFails int
+	runs             int
+	failures         int
+}
+
+// quarantineAfter is how many consecutive failures sideline a backend
+// while healthy alternatives remain.
+const quarantineAfter = 3
+
+// Orchestrator dispatches expanded sweeps over its backends.
+type Orchestrator struct {
+	cfg    Config
+	mu     sync.Mutex
+	states []backendState
+	evMu   sync.Mutex
+}
+
+// New validates the configuration and builds an orchestrator.
+func New(cfg Config) (*Orchestrator, error) {
+	if len(cfg.Backends) == 0 {
+		return nil, errors.New("orchestrator: at least one backend is required")
+	}
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 2 * len(cfg.Backends)
+	}
+	if cfg.Attempts <= 0 {
+		cfg.Attempts = 2*len(cfg.Backends) + 1
+	}
+	if cfg.RetryBase <= 0 {
+		cfg.RetryBase = 200 * time.Millisecond
+	}
+	if cfg.RetryMax <= 0 {
+		cfg.RetryMax = 5 * time.Second
+	}
+	return &Orchestrator{cfg: cfg, states: make([]backendState, len(cfg.Backends))}, nil
+}
+
+// Run expands the sweep and executes every spec, failing over between
+// backends as needed. It returns the per-spec results even when some
+// specs ultimately failed; the error then summarizes the failures.
+func (o *Orchestrator) Run(ctx context.Context, sweep SweepSpec) (*SweepResult, error) {
+	specs, err := sweep.Expand()
+	if err != nil {
+		return nil, err
+	}
+	return o.RunSpecs(ctx, specs)
+}
+
+// RunSpecs executes an already-expanded spec list (normalized RunSpecs).
+func (o *Orchestrator) RunSpecs(ctx context.Context, specs []service.RunSpec) (*SweepResult, error) {
+	res := &SweepResult{
+		Specs:   specs,
+		Results: make([]SpecResult, len(specs)),
+		Summary: Summary{Specs: len(specs), Backends: map[string]BackendStats{}},
+	}
+	var done int
+	var doneMu sync.Mutex
+
+	width := o.cfg.Concurrency
+	if width > len(specs) {
+		width = len(specs)
+	}
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < width; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				r := o.runSpec(ctx, specs[i], len(specs), &done, &doneMu)
+				res.Results[i] = r
+			}
+		}()
+	}
+	for i := range specs {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+
+	var firstErr error
+	for _, r := range res.Results {
+		switch r.Outcome {
+		case service.OutcomeHit:
+			res.Summary.Hits++
+		case service.OutcomeDisk:
+			res.Summary.DiskHits++
+		case service.OutcomeMiss, service.OutcomeCoalesced:
+			res.Summary.Executed++
+		}
+		if r.Attempts > 1 {
+			res.Summary.Failovers += r.Attempts - 1
+		}
+		if r.Err != nil {
+			res.Summary.Failed++
+			if firstErr == nil {
+				firstErr = r.Err
+			}
+		}
+	}
+	o.mu.Lock()
+	for i, st := range o.states {
+		name := o.cfg.Backends[i].Name()
+		agg := res.Summary.Backends[name]
+		agg.Runs += st.runs
+		agg.Failures += st.failures
+		res.Summary.Backends[name] = agg
+	}
+	o.mu.Unlock()
+	if res.Summary.Failed > 0 {
+		return res, fmt.Errorf("orchestrator: %d of %d spec(s) failed on every backend; first: %w",
+			res.Summary.Failed, len(specs), firstErr)
+	}
+	return res, nil
+}
+
+// runSpec drives one spec to completion: pick the least-loaded healthy
+// backend, run, and on failure retry — preferring backends not yet
+// tried this spec — until the attempt budget runs out.
+func (o *Orchestrator) runSpec(ctx context.Context, spec service.RunSpec, total int, done *int, doneMu *sync.Mutex) SpecResult {
+	hash := spec.Hash()
+	out := SpecResult{Spec: spec, Hash: hash}
+	tried := make(map[int]bool)
+	var lastErr error
+	for attempt := 1; attempt <= o.cfg.Attempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			out.Attempts, out.Err = attempt-1, err
+			return out
+		}
+		if attempt > 1 {
+			select {
+			case <-time.After(service.Backoff(attempt-2, o.cfg.RetryBase, o.cfg.RetryMax)):
+			case <-ctx.Done():
+				out.Attempts, out.Err = attempt-1, ctx.Err()
+				return out
+			}
+		}
+		bi := o.acquire(tried)
+		backend := o.cfg.Backends[bi]
+		body, outcome, err := backend.Run(ctx, spec)
+		o.release(bi, err == nil)
+		out.Attempts = attempt
+		if err == nil {
+			out.Body, out.Outcome, out.Backend = body, outcome, backend.Name()
+			doneMu.Lock()
+			*done++
+			d := *done
+			doneMu.Unlock()
+			o.emit(Event{Done: d, Total: total, Spec: spec, Hash: hash, Backend: backend.Name(), Outcome: outcome, Attempt: attempt})
+			return out
+		}
+		lastErr = fmt.Errorf("%s: %w", backend.Name(), err)
+		tried[bi] = true
+		if len(tried) == len(o.cfg.Backends) {
+			// Every backend failed this spec once; allow re-visits.
+			tried = make(map[int]bool)
+		}
+		o.emit(Event{Total: total, Spec: spec, Hash: hash, Backend: backend.Name(), Attempt: attempt, Err: err})
+	}
+	out.Err = fmt.Errorf("spec %s exhausted %d attempt(s): %w", hash[:12], o.cfg.Attempts, lastErr)
+	return out
+}
+
+// acquire picks the least-loaded backend, preferring ones that are
+// neither quarantined nor already tried for the current spec, and
+// increments its in-flight count. Preference degrades gracefully: if
+// every backend is quarantined or tried, the constraint is dropped
+// rather than deadlocking the sweep.
+func (o *Orchestrator) acquire(tried map[int]bool) int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	pick := -1
+	for pass := 0; pass < 3 && pick < 0; pass++ {
+		for i := range o.states {
+			if pass < 2 && tried[i] {
+				continue
+			}
+			if pass < 1 && o.states[i].consecutiveFails >= quarantineAfter {
+				continue
+			}
+			if pick < 0 || o.states[i].inflight < o.states[pick].inflight {
+				pick = i
+			}
+		}
+	}
+	o.states[pick].inflight++
+	return pick
+}
+
+// release returns a backend slot and updates its health record.
+func (o *Orchestrator) release(i int, success bool) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.states[i].inflight--
+	o.states[i].runs++
+	if success {
+		o.states[i].consecutiveFails = 0
+	} else {
+		o.states[i].consecutiveFails++
+		o.states[i].failures++
+	}
+}
+
+// emit serializes OnEvent callbacks so observers need no locking.
+func (o *Orchestrator) emit(ev Event) {
+	if o.cfg.OnEvent == nil {
+		return
+	}
+	o.evMu.Lock()
+	defer o.evMu.Unlock()
+	o.cfg.OnEvent(ev)
+}

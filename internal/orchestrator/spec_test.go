@@ -1,0 +1,169 @@
+package orchestrator
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestExpandCrossProduct(t *testing.T) {
+	sweep := SweepSpec{
+		Axes: Axes{
+			Benchmarks: []string{"UTS", "SOR-irt"},
+			Governors:  []string{"default", "cuttlefish"},
+			TinvSec:    Axis{Values: []float64{0.01, 0.02}},
+			Seeds:      Axis{Values: []float64{1, 2, 3}},
+		},
+	}
+	specs, err := sweep.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 2*2*2*3 {
+		t.Fatalf("expanded %d specs, want 24", len(specs))
+	}
+	// Row-major order: the last axis (seeds) varies fastest.
+	if specs[0].Seed != 1 || specs[1].Seed != 2 || specs[2].Seed != 3 {
+		t.Errorf("seed order = %d,%d,%d, want 1,2,3", specs[0].Seed, specs[1].Seed, specs[2].Seed)
+	}
+	for _, s := range specs {
+		if s.Experiment != "run" || s.Scale == 0 || s.Cores == 0 {
+			t.Fatalf("spec not normalized: %+v", s)
+		}
+	}
+}
+
+func TestExpandDeduplicatesByHash(t *testing.T) {
+	sweep := SweepSpec{
+		Axes: Axes{
+			Benchmarks: []string{"UTS", "UTS"}, // duplicated axis values
+			Seeds:      Axis{Values: []float64{1, 1, 2}},
+		},
+	}
+	specs, err := sweep.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 2 {
+		t.Fatalf("expanded %d specs, want 2 after dedup", len(specs))
+	}
+}
+
+func TestExpandDistributionAxisIsDeterministic(t *testing.T) {
+	sweep := SweepSpec{
+		Axes: Axes{
+			Benchmarks: []string{"UTS"},
+			Scales:     Axis{Dist: &DistSpec{Dist: "kumaraswamy", A: 2, B: 3, N: 4, Seed: 9, Min: 0.01, Max: 0.05}},
+		},
+	}
+	a, err := sweep.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sweep.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("distribution axes must expand identically across calls")
+	}
+	if len(a) != 4 {
+		t.Fatalf("expanded %d specs, want 4 sampled scales", len(a))
+	}
+	for _, s := range a {
+		if s.Scale < 0.01 || s.Scale > 0.05 {
+			t.Errorf("sampled scale %g escapes [0.01, 0.05]", s.Scale)
+		}
+	}
+}
+
+func TestParseSweepSpecRejectsUnknownFields(t *testing.T) {
+	if _, err := ParseSweepSpec([]byte(`{"axes": {"benchmarcks": ["UTS"]}}`)); err == nil {
+		t.Error("typoed axis must be rejected, not silently ignored")
+	}
+	if _, err := ParseSweepSpec([]byte(`{"axes": {"scales": {"dist": "zipf"}}}`)); err != nil {
+		t.Fatalf("parse should defer distribution validation to Expand: %v", err)
+	}
+}
+
+func TestExpandErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		sweep SweepSpec
+		want  string
+	}{
+		{"missing benchmarks", SweepSpec{}, "needs a benchmarks axis"},
+		{"unknown benchmark", SweepSpec{Axes: Axes{Benchmarks: []string{"NoSuch"}}}, "unknown benchmark"},
+		{"unknown governor", SweepSpec{Axes: Axes{Benchmarks: []string{"UTS"}, Governors: []string{"warp"}}}, "unknown governor"},
+		{"unknown distribution", SweepSpec{Axes: Axes{Benchmarks: []string{"UTS"},
+			Scales: Axis{Dist: &DistSpec{Dist: "zipf", N: 3}}}}, "unknown distribution"},
+		{"bad shape", SweepSpec{Axes: Axes{Benchmarks: []string{"UTS"},
+			Scales: Axis{Dist: &DistSpec{Dist: "kumaraswamy", A: -1, B: 1, N: 3, Min: 0.01, Max: 0.05}}}}, "positive"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := tc.sweep.Expand()
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("err = %v, want mention of %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestExpandNonRunExperiment(t *testing.T) {
+	// A benchmarks axis on a non-"run" experiment would be silently
+	// meaningless — reject it like any other spec mistake.
+	bad := SweepSpec{
+		Experiment: "table1",
+		Axes: Axes{
+			Benchmarks: []string{"UTS", "SOR-irt"},
+			Seeds:      Axis{Values: []float64{1, 2}},
+		},
+	}
+	if _, err := bad.Expand(); err == nil || !strings.Contains(err.Error(), "ignores benchmarks") {
+		t.Errorf("benchmarks axis on table1: err = %v, want rejection", err)
+	}
+	sweep := SweepSpec{
+		Experiment: "table1",
+		Axes:       Axes{Seeds: Axis{Values: []float64{1, 2}}},
+	}
+	specs, err := sweep.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 2 {
+		t.Fatalf("expanded %d specs, want 2", len(specs))
+	}
+	for _, s := range specs {
+		if s.Benchmark != "" || s.Experiment != "table1" {
+			t.Errorf("spec = %+v, want table1 with no benchmark", s)
+		}
+	}
+}
+
+func TestAxisJSONRoundTrip(t *testing.T) {
+	spec, err := ParseSweepSpec([]byte(`{
+		"name": "rt",
+		"axes": {
+			"benchmarks": ["UTS"],
+			"tinv_sec": [0.01, 0.04],
+			"scales": {"dist": "kumaraswamy", "a": 2, "b": 5, "n": 3, "seed": 11, "min": 0.01, "max": 0.03}
+		}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := spec.Axes.TinvSec.Values; !reflect.DeepEqual(got, []float64{0.01, 0.04}) {
+		t.Errorf("tinv values = %v", got)
+	}
+	if spec.Axes.Scales.Dist == nil || spec.Axes.Scales.Dist.N != 3 {
+		t.Errorf("scales dist = %+v, want kumaraswamy n=3", spec.Axes.Scales.Dist)
+	}
+	specs, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 2*3 {
+		t.Errorf("expanded %d specs, want 6", len(specs))
+	}
+}

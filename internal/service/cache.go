@@ -11,6 +11,7 @@ import (
 type resultCache struct {
 	mu    sync.Mutex
 	cap   int
+	bytes int64      // total payload bytes resident
 	order *list.List // front = most recently used
 	items map[string]*list.Element
 }
@@ -46,16 +47,37 @@ func (c *resultCache) Add(key string, body []byte) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
-		el.Value.(*cacheEntry).body = body
+		e := el.Value.(*cacheEntry)
+		c.bytes += int64(len(body)) - int64(len(e.body))
+		e.body = body
 		c.order.MoveToFront(el)
 		return
 	}
 	c.items[key] = c.order.PushFront(&cacheEntry{key: key, body: body})
+	c.bytes += int64(len(body))
 	for c.order.Len() > c.cap {
 		oldest := c.order.Back()
 		c.order.Remove(oldest)
-		delete(c.items, oldest.Value.(*cacheEntry).key)
+		e := oldest.Value.(*cacheEntry)
+		c.bytes -= int64(len(e.body))
+		delete(c.items, e.key)
 	}
+}
+
+// Bytes returns the total payload bytes resident in the cache.
+func (c *resultCache) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}
+
+// Purge empties the cache.
+func (c *resultCache) Purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.order.Init()
+	c.items = make(map[string]*list.Element)
+	c.bytes = 0
 }
 
 // Len returns the number of cached entries.

@@ -6,8 +6,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"strings"
+	"time"
 
 	"repro/internal/report"
 )
@@ -15,9 +17,48 @@ import (
 // Client talks to a cfserve instance. The zero HTTPClient uses
 // http.DefaultClient; BaseURL is the server root, e.g.
 // "http://localhost:8080".
+//
+// HTTP 429 (queue-full backpressure) is not an error but a "come back
+// in a moment": Run retries it with jittered exponential backoff up to
+// MaxAttempts, honouring the request context, instead of failing the
+// whole experiment. Every other failure surfaces immediately.
 type Client struct {
 	BaseURL    string
 	HTTPClient *http.Client
+	// MaxAttempts caps submissions of one spec, counting the first
+	// (0 = 8; 1 disables retrying).
+	MaxAttempts int
+	// RetryBase is the first backoff delay; attempt k waits Backoff(k):
+	// RetryBase·2^k jittered over [d/2, d] (0 = 100ms).
+	RetryBase time.Duration
+	// RetryMax caps a single backoff sleep (0 = 5s).
+	RetryMax time.Duration
+}
+
+func (c *Client) retryParams() (attempts int, base, max time.Duration) {
+	attempts, base, max = c.MaxAttempts, c.RetryBase, c.RetryMax
+	if attempts <= 0 {
+		attempts = 8
+	}
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	if max <= 0 {
+		max = 5 * time.Second
+	}
+	return attempts, base, max
+}
+
+// Backoff returns the jittered delay before retry attempt k (0-based):
+// base·2^k jittered uniformly over [d/2, d], never exceeding max. The
+// jitter decorrelates clients hammering one backend; the sweep
+// orchestrator's inter-attempt delays use the same helper.
+func Backoff(k int, base, max time.Duration) time.Duration {
+	d := base << uint(k)
+	if d > max || d <= 0 { // <= 0 guards shift overflow
+		d = max
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
 }
 
 func (c *Client) httpClient() *http.Client {
@@ -32,34 +73,72 @@ func (c *Client) url(path string) string {
 }
 
 // Run submits a spec synchronously and decodes the report. The second
-// return is the server's cache outcome (hit / miss / coalesced).
+// return is the server's cache outcome (hit / disk / miss / coalesced).
+// 429 responses are retried with jittered backoff; see Client.
 func (c *Client) Run(ctx context.Context, spec RunSpec) (*report.RunReport, Outcome, error) {
-	raw, err := json.Marshal(spec)
+	body, outcome, err := c.RunRaw(ctx, spec)
 	if err != nil {
 		return nil, "", err
-	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.url("/v1/runs"), bytes.NewReader(raw))
-	if err != nil {
-		return nil, "", err
-	}
-	req.Header.Set("Content-Type", "application/json")
-	resp, err := c.httpClient().Do(req)
-	if err != nil {
-		return nil, "", err
-	}
-	defer resp.Body.Close()
-	body, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return nil, "", err
-	}
-	if resp.StatusCode != http.StatusOK {
-		return nil, "", remoteError(resp.StatusCode, body)
 	}
 	rep, err := report.Decode(body)
 	if err != nil {
 		return nil, "", err
 	}
-	return rep, Outcome(resp.Header.Get(HeaderCache)), nil
+	return rep, outcome, nil
+}
+
+// RunRaw is Run without decoding: it returns the canonical report bytes
+// exactly as the server sent them. The orchestrator aggregates from
+// these so a disk hit, an LRU hit and a fresh execution of one spec are
+// indistinguishable byte for byte.
+func (c *Client) RunRaw(ctx context.Context, spec RunSpec) ([]byte, Outcome, error) {
+	raw, err := json.Marshal(spec)
+	if err != nil {
+		return nil, "", err
+	}
+	attempts, base, max := c.retryParams()
+	var lastErr error
+	for k := 0; k < attempts; k++ {
+		if k > 0 {
+			select {
+			case <-time.After(Backoff(k-1, base, max)):
+			case <-ctx.Done():
+				return nil, "", fmt.Errorf("%w (after %d attempt(s): %v)", ctx.Err(), k, lastErr)
+			}
+		}
+		body, outcome, retryable, err := c.post(ctx, raw)
+		if err == nil {
+			return body, outcome, nil
+		}
+		if !retryable {
+			return nil, "", err
+		}
+		lastErr = err
+	}
+	return nil, "", fmt.Errorf("service: giving up after %d attempts: %w", attempts, lastErr)
+}
+
+// post performs one submission attempt; retryable marks 429
+// backpressure, the only failure worth waiting out.
+func (c *Client) post(ctx context.Context, raw []byte) (body []byte, outcome Outcome, retryable bool, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.url("/v1/runs"), bytes.NewReader(raw))
+	if err != nil {
+		return nil, "", false, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, "", false, err
+	}
+	defer resp.Body.Close()
+	body, err = io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, "", false, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, "", resp.StatusCode == http.StatusTooManyRequests, remoteError(resp.StatusCode, body)
+	}
+	return body, Outcome(resp.Header.Get(HeaderCache)), false, nil
 }
 
 // Governors fetches the server's registered governor names.
@@ -78,6 +157,36 @@ func (c *Client) Stats(ctx context.Context) (Stats, error) {
 	var out Stats
 	err := c.get(ctx, "/v1/stats", &out)
 	return out, err
+}
+
+// CacheInfo fetches the server's cache-tier snapshot.
+func (c *Client) CacheInfo(ctx context.Context) (CacheInfo, error) {
+	var out CacheInfo
+	err := c.get(ctx, "/v1/cache", &out)
+	return out, err
+}
+
+// PurgeCache empties the server's LRU and persistent store, returning
+// the post-purge snapshot.
+func (c *Client) PurgeCache(ctx context.Context) (CacheInfo, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.url("/v1/cache"), nil)
+	if err != nil {
+		return CacheInfo{}, err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return CacheInfo{}, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return CacheInfo{}, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return CacheInfo{}, remoteError(resp.StatusCode, body)
+	}
+	var out CacheInfo
+	return out, json.Unmarshal(body, &out)
 }
 
 func (c *Client) get(ctx context.Context, path string, v any) error {

@@ -21,12 +21,14 @@ const (
 
 // NewHandler exposes a Service over HTTP:
 //
-//	POST /v1/runs            RunSpec JSON in, canonical RunReport JSON out
-//	POST /v1/runs?async=1    202 + job envelope; poll the Location URL
-//	GET  /v1/runs/{id}       async job status / result
-//	GET  /v1/governors       registered governor names
-//	GET  /v1/stats           operational snapshot
-//	GET  /healthz            liveness
+//	POST   /v1/runs          RunSpec JSON in, canonical RunReport JSON out
+//	POST   /v1/runs?async=1  202 + job envelope; poll the Location URL
+//	GET    /v1/runs/{id}     async job status / result
+//	GET    /v1/governors     registered governor names
+//	GET    /v1/stats         operational snapshot
+//	GET    /v1/cache         cache tiers: LRU entries/bytes, store path/size
+//	DELETE /v1/cache         purge both tiers (LRU + persistent store)
+//	GET    /healthz          liveness
 func NewHandler(s *Service) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/runs", func(w http.ResponseWriter, r *http.Request) {
@@ -40,6 +42,16 @@ func NewHandler(s *Service) http.Handler {
 	})
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Stats())
+	})
+	mux.HandleFunc("GET /v1/cache", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.CacheInfo())
+	})
+	mux.HandleFunc("DELETE /v1/cache", func(w http.ResponseWriter, r *http.Request) {
+		if err := s.PurgeCache(); err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, s.CacheInfo())
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})

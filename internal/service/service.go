@@ -13,6 +13,7 @@ import (
 	"repro/internal/report"
 	"repro/internal/runner"
 	"repro/internal/stats"
+	"repro/internal/store"
 )
 
 // Executor computes the report for one normalized spec. The default runs
@@ -52,6 +53,10 @@ type Config struct {
 	LatencyWindow int
 	// Executor computes reports (nil = DefaultExecutor).
 	Executor Executor
+	// Store is the optional persistent tier below the LRU: misses
+	// consult it before executing, and every finished execution is
+	// written through, so results survive restarts (nil = memory only).
+	Store *store.Store
 }
 
 func (c Config) withDefaults() Config {
@@ -84,6 +89,10 @@ const (
 	// OutcomeCoalesced joined an identical in-flight execution and
 	// shared its result.
 	OutcomeCoalesced Outcome = "coalesced"
+	// OutcomeDisk served canonical bytes from the persistent store (an
+	// LRU miss that a previous process lifetime had computed); the entry
+	// is promoted into the LRU on the way out.
+	OutcomeDisk Outcome = "disk"
 )
 
 // Result is one satisfied submission: the spec's content hash, how it was
@@ -157,6 +166,7 @@ type Service struct {
 
 	seq       atomic.Uint64
 	hits      atomic.Uint64
+	diskHits  atomic.Uint64
 	misses    atomic.Uint64
 	coalesced atomic.Uint64
 	rejected  atomic.Uint64
@@ -229,6 +239,11 @@ func (s *Service) execute(ctx context.Context, fl *flight) {
 	}
 	if err == nil {
 		s.cache.Add(fl.hash, body)
+		if s.cfg.Store != nil {
+			// Write-through to the persistent tier. A failed write only
+			// costs durability, not correctness — the store counts it.
+			_ = s.cfg.Store.Put(fl.hash, body)
+		}
 		s.recordLatency(time.Since(start).Seconds())
 		s.completed.Add(1)
 	} else {
@@ -252,7 +267,7 @@ func (s *Service) finish(fl *flight, body []byte, err error) {
 // immediately with ErrQueueFull rather than blocking the caller.
 func (s *Service) Submit(ctx context.Context, spec RunSpec) (Result, error) {
 	fl, outcome, res, err := s.admit(spec)
-	if err != nil || outcome == OutcomeHit {
+	if err != nil || fl == nil { // hit or disk hit: born resolved
 		return res, err
 	}
 	select {
@@ -280,6 +295,16 @@ func (s *Service) admit(spec RunSpec) (*flight, Outcome, Result, error) {
 	if body, ok := s.cache.Get(hash); ok {
 		s.hits.Add(1)
 		return nil, OutcomeHit, Result{Hash: hash, Outcome: OutcomeHit, Body: body}, nil
+	}
+	if s.cfg.Store != nil {
+		if body, ok := s.cfg.Store.Get(hash); ok {
+			// Promote the disk entry into the LRU so the next request is
+			// a memory hit; the bytes served are the stored payload
+			// verbatim, byte-identical to the original execution.
+			s.cache.Add(hash, body)
+			s.diskHits.Add(1)
+			return nil, OutcomeDisk, Result{Hash: hash, Outcome: OutcomeDisk, Body: body}, nil
+		}
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -311,7 +336,7 @@ func (s *Service) SubmitAsync(spec RunSpec) (JobView, error) {
 		return JobView{}, err
 	}
 	j := &job{outcome: outcome}
-	if outcome == OutcomeHit {
+	if fl == nil { // hit or disk hit: born resolved
 		j.hash, j.body = res.Hash, res.Body
 	} else {
 		j.hash, j.fl = fl.hash, fl
@@ -383,6 +408,7 @@ func (s *Service) view(j *job) JobView {
 // Stats is a point-in-time operational snapshot, served at /v1/stats.
 type Stats struct {
 	Hits         uint64  `json:"hits"`
+	DiskHits     uint64  `json:"disk_hits"`
 	Misses       uint64  `json:"misses"`
 	Coalesced    uint64  `json:"coalesced"`
 	Rejected     uint64  `json:"rejected"`
@@ -410,6 +436,7 @@ func (s *Service) Stats() Stats {
 	s.latMu.Unlock()
 	st := Stats{
 		Hits:         s.hits.Load(),
+		DiskHits:     s.diskHits.Load(),
 		Misses:       s.misses.Load(),
 		Coalesced:    s.coalesced.Load(),
 		Rejected:     s.rejected.Load(),
@@ -427,6 +454,36 @@ func (s *Service) Stats() Stats {
 		st.P95Ms = stats.Percentile(window, 95) * 1e3
 	}
 	return st
+}
+
+// CacheInfo describes both cache tiers, served at GET /v1/cache.
+type CacheInfo struct {
+	// Entries and Bytes describe the in-memory LRU tier.
+	Entries int   `json:"entries"`
+	Bytes   int64 `json:"bytes"`
+	// Store describes the persistent tier; nil when none is configured.
+	Store *store.Info `json:"store,omitempty"`
+}
+
+// CacheInfo snapshots the LRU and (if configured) the persistent store.
+func (s *Service) CacheInfo() CacheInfo {
+	info := CacheInfo{Entries: s.cache.Len(), Bytes: s.cache.Bytes()}
+	if s.cfg.Store != nil {
+		si := s.cfg.Store.Info()
+		info.Store = &si
+	}
+	return info
+}
+
+// PurgeCache empties both cache tiers: every subsequent submission
+// re-executes. It does not interrupt in-flight runs (their results
+// repopulate the tiers as they finish).
+func (s *Service) PurgeCache() error {
+	s.cache.Purge()
+	if s.cfg.Store != nil {
+		return s.cfg.Store.Purge()
+	}
+	return nil
 }
 
 func (s *Service) recordLatency(sec float64) {
