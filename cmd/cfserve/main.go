@@ -13,6 +13,7 @@
 //	POST   /v1/runs          run a spec, wait for the report
 //	POST   /v1/runs?async=1  enqueue, poll GET /v1/runs/{id}
 //	GET    /v1/governors     registered strategies
+//	GET    /v1/scenarios     registered workloads (benchmarks + scenarios)
 //	GET    /v1/stats         hits / misses / coalesced / queue / latency
 //	GET    /v1/cache         cache tiers (LRU entries/bytes, store path/size)
 //	DELETE /v1/cache         purge LRU + store

@@ -18,8 +18,10 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -27,17 +29,21 @@ import (
 	"repro/internal/governor"
 	"repro/internal/orchestrator"
 	"repro/internal/report"
+	"repro/internal/scenario"
 	"repro/internal/service"
 	"repro/internal/store"
 )
 
 var (
-	format    = "text"
-	remote    = ""
-	benchName = ""
-	sweepSpec = ""
-	storeDir  = ""
-	backends  stringList
+	format       = "text"
+	remote       = ""
+	benchName    = ""
+	scenarioFile = ""
+	sweepSpec    = ""
+	storeDir     = ""
+	backends     stringList
+	listGov      bool
+	listScen     bool
 )
 
 // stringList collects a repeatable flag (-backend may be given once per
@@ -50,50 +56,84 @@ func (l *stringList) Set(v string) error {
 	return nil
 }
 
+// newFlagSet registers every CLI flag on a fresh flag set bound to the
+// package-level option variables. ContinueOnError makes Parse return an
+// error naming the offending flag instead of exiting, so the two-stage
+// parse below can report it uniformly wherever the flag appeared.
+func newFlagSet(opt *experiments.Options) *flag.FlagSet {
+	fs := flag.NewFlagSet("cuttlefish", flag.ContinueOnError)
+	fs.SetOutput(io.Discard) // main prints the error and usage itself
+	fs.Float64Var(&opt.Scale, "scale", opt.Scale, "benchmark length relative to the paper's runs (1.0 ≈ 60-80s each)")
+	fs.IntVar(&opt.Reps, "reps", opt.Reps, "repetitions per data point (paper: 10)")
+	fs.IntVar(&opt.Cores, "cores", opt.Cores, "simulated core count")
+	fs.Int64Var(&opt.Seed, "seed", opt.Seed, "base RNG seed")
+	fs.Float64Var(&opt.TinvSec, "tinv", opt.TinvSec, "daemon profiling interval in seconds")
+	fs.IntVar(&opt.Workers, "workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
+	fs.IntVar(&opt.SimWorkers, "simworkers", 0, "engine workers sharding each simulated machine's cores (0/1 = serial)")
+	fs.IntVar(&opt.BatchQuanta, "batch", 0, "max quanta per engine dispatch (0 = run to next event)")
+	fs.StringVar(&opt.Governor, "governor", "", "registered governor for single-environment experiments (default: each experiment's paper environment; see -list-governors)")
+	fs.StringVar(&format, "format", format, "report format: text | json | csv")
+	fs.StringVar(&remote, "remote", remote, "execute against a cfserve instance at this URL instead of in-process (e.g. http://localhost:8080)")
+	fs.StringVar(&benchName, "bench", benchName, "workload for the \"run\" experiment: a Table 1 benchmark or a registered scenario (see -list-scenarios)")
+	fs.StringVar(&scenarioFile, "scenario", scenarioFile, "scenario definition file (JSON phase program) for the \"run\" experiment")
+	fs.StringVar(&sweepSpec, "spec", sweepSpec, "sweep spec file (JSON) for the \"sweep\" subcommand")
+	fs.Var(&backends, "backend", "cfserve URL the \"sweep\" subcommand dispatches to (repeatable; default: run in-process)")
+	fs.StringVar(&storeDir, "store", storeDir, "persistent result store directory for in-process sweeps")
+	fs.BoolVar(&listGov, "list-governors", false, "list registered governors and exit")
+	fs.BoolVar(&listScen, "list-scenarios", false, "list registered workloads (benchmarks and scenarios) and exit")
+	return fs
+}
+
+// parseArgs parses flags and the experiment name in one loop: every
+// positional argument boundary re-enters Parse, so flags are accepted
+// before and after the subcommand identically, and a bad flag fails with
+// the same error (naming the flag) wherever it appears. The previous
+// two-stage parse re-parsed only the tail after the subcommand, exiting
+// without a message on errors there.
+func parseArgs(fs *flag.FlagSet, args []string) (experiment string, err error) {
+	rest := args
+	for {
+		if err := fs.Parse(rest); err != nil {
+			return "", err
+		}
+		pos := fs.Args()
+		if len(pos) == 0 {
+			return experiment, nil
+		}
+		if experiment != "" {
+			return "", fmt.Errorf("unexpected argument %q after experiment %q", pos[0], experiment)
+		}
+		experiment = pos[0]
+		rest = pos[1:]
+	}
+}
+
 func main() {
 	opt := experiments.DefaultOptions()
-	flag.Float64Var(&opt.Scale, "scale", opt.Scale, "benchmark length relative to the paper's runs (1.0 ≈ 60-80s each)")
-	flag.IntVar(&opt.Reps, "reps", opt.Reps, "repetitions per data point (paper: 10)")
-	flag.IntVar(&opt.Cores, "cores", opt.Cores, "simulated core count")
-	flag.Int64Var(&opt.Seed, "seed", opt.Seed, "base RNG seed")
-	flag.Float64Var(&opt.TinvSec, "tinv", opt.TinvSec, "daemon profiling interval in seconds")
-	flag.IntVar(&opt.Workers, "workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
-	flag.IntVar(&opt.SimWorkers, "simworkers", 0, "engine workers sharding each simulated machine's cores (0/1 = serial)")
-	flag.IntVar(&opt.BatchQuanta, "batch", 0, "max quanta per engine dispatch (0 = run to next event)")
-	flag.StringVar(&opt.Governor, "governor", "", "registered governor for single-environment experiments (default: each experiment's paper environment; see -list-governors)")
-	flag.StringVar(&format, "format", format, "report format: text | json | csv")
-	flag.StringVar(&remote, "remote", remote, "execute against a cfserve instance at this URL instead of in-process (e.g. http://localhost:8080)")
-	flag.StringVar(&benchName, "bench", benchName, "benchmark for the \"run\" experiment (Table 1 name)")
-	flag.StringVar(&sweepSpec, "spec", sweepSpec, "sweep spec file (JSON) for the \"sweep\" subcommand")
-	flag.Var(&backends, "backend", "cfserve URL the \"sweep\" subcommand dispatches to (repeatable; default: run in-process)")
-	flag.StringVar(&storeDir, "store", storeDir, "persistent result store directory for in-process sweeps")
-	listGov := flag.Bool("list-governors", false, "list registered governors and exit")
-	flag.Usage = usage
-	flag.Parse()
-	if *listGov {
+	fs := newFlagSet(&opt)
+	name, err := parseArgs(fs, os.Args[1:])
+	if err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			usage(fs)
+			return
+		}
+		fmt.Fprintf(os.Stderr, "cuttlefish: %v\n", err)
+		usage(fs)
+		os.Exit(2)
+	}
+	if listGov {
 		fmt.Println(strings.Join(governor.Names(), "\n"))
 		return
 	}
-	if flag.NArg() < 1 {
-		usage()
-		os.Exit(2)
+	if listScen {
+		for _, info := range scenario.List() {
+			fmt.Printf("%-16s %-10s %s\n", info.Name, info.Kind, info.Description)
+		}
+		return
 	}
-	name := flag.Arg(0)
-	// Flags are accepted after the experiment name too:
-	// `cuttlefish table1 -scale 0.02 -format json`.
-	if rest := flag.Args()[1:]; len(rest) > 0 {
-		if err := flag.CommandLine.Parse(rest); err != nil {
-			os.Exit(2)
-		}
-		if flag.NArg() != 0 {
-			fmt.Fprintf(os.Stderr, "cuttlefish: unexpected arguments %v\n", flag.Args())
-			usage()
-			os.Exit(2)
-		}
-		if *listGov {
-			fmt.Println(strings.Join(governor.Names(), "\n"))
-			return
-		}
+	if name == "" {
+		usage(fs)
+		os.Exit(2)
 	}
 	if !report.ValidFormat(format) {
 		fmt.Fprintf(os.Stderr, "cuttlefish: unknown format %q (want text, json or csv)\n", format)
@@ -105,7 +145,7 @@ func main() {
 	}
 }
 
-func usage() {
+func usage(fs *flag.FlagSet) {
 	fmt.Fprintf(os.Stderr, `usage: cuttlefish [flags] <experiment> [flags]
 
 experiments:
@@ -120,7 +160,8 @@ experiments:
   ablation cost of disabling the §4.4 / §4.5 / Algorithm-3 optimisations
   ddcm     DVFS vs duty-cycle modulation at matched throttle
   oracle   daemon's chosen optima vs exhaustive (CF,UF) sweep
-  run      one benchmark under one governor (-bench <name>, Reps rows)
+  run      one workload under one governor (-bench <name> or
+           -scenario <file.json>, Reps rows)
   sweep    expand a parameter grid (-spec file.json) across backends
   all      everything above in sequence
 
@@ -129,20 +170,27 @@ the execution environment of single-environment experiments (table1), e.g.
   cuttlefish -governor=powersave table1 -format json
 registered: %s
 
+workloads come from the scenario registry: Table 1 benchmarks, built-in
+synthetic scenarios (-list-scenarios) and JSON phase programs:
+  cuttlefish run -bench bursty
+  cuttlefish run -scenario examples/scenarios/bursty.json
+
 -remote <url> ships any experiment to a cfserve instance instead of
 running in-process; identical specs are served from the server's
 content-addressed result cache:
   cuttlefish -remote http://localhost:8080 run -bench Heat-irt -format json
 
 sweep fans a declarative parameter grid (governors × benchmarks ×
-tinv/cores/reps/seeds/scales, listed or sampled) across one or more
-cfserve backends with least-loaded dispatch, retry and failover, then
-aggregates a cross-product comparison (best-per-cell + Pareto rows):
+scenarios × tinv/cores/reps/seeds/scales, listed or sampled) across one
+or more cfserve backends with least-loaded dispatch, retry and failover,
+then aggregates a cross-product comparison (best-per-cell + Pareto rows):
   cuttlefish sweep -spec sweep.json -backend http://a:8080 -backend http://b:8080
 
 flags (before or after the experiment):
 `, strings.Join(governor.Names(), ", "))
-	flag.PrintDefaults()
+	fs.SetOutput(os.Stderr)
+	fs.PrintDefaults()
+	fs.SetOutput(io.Discard)
 }
 
 // run executes one experiment — in-process, or against a cfserve
@@ -155,8 +203,25 @@ func run(name string, opt experiments.Options, format string) error {
 			return err
 		}
 	}
-	if name == "run" && benchName == "" {
-		return fmt.Errorf("the run experiment needs -bench <name>")
+	if scenarioFile != "" {
+		if name != "run" {
+			return fmt.Errorf("-scenario only applies to the run experiment, not %q", name)
+		}
+		if benchName != "" {
+			return fmt.Errorf("-bench and -scenario are mutually exclusive")
+		}
+		raw, err := os.ReadFile(scenarioFile)
+		if err != nil {
+			return err
+		}
+		def, err := scenario.ParseDefinition(raw)
+		if err != nil {
+			return err
+		}
+		opt.ScenarioDef = &def
+	}
+	if name == "run" && benchName == "" && opt.ScenarioDef == nil {
+		return fmt.Errorf("the run experiment needs -bench <name> or -scenario <file.json>")
 	}
 	if name == "sweep" {
 		return runSweep(opt, format)
@@ -220,12 +285,23 @@ func runSweep(opt experiments.Options, format string) error {
 			pool = append(pool, orchestrator.NewRemoteBackend(u))
 		}
 	}
+	var dupNoted bool // OnEvent calls are serialized by the orchestrator
 	o, err := orchestrator.New(orchestrator.Config{
 		Backends: pool,
 		OnEvent: func(ev orchestrator.Event) {
+			if ev.Duplicates > 0 && !dupNoted {
+				dupNoted = true
+				fmt.Fprintf(os.Stderr, "sweep: %d duplicate grid cell(s) collapsed by hash-dedup (cross-product %d)\n",
+					ev.Duplicates, ev.Total+ev.Duplicates)
+			}
 			target := ev.Spec.Experiment
-			if ev.Spec.Benchmark != "" {
+			switch {
+			case ev.Spec.Benchmark != "":
 				target += "/" + ev.Spec.Benchmark
+			case ev.Spec.Scenario != "":
+				target += "/" + ev.Spec.Scenario
+			case ev.Spec.ScenarioDef != nil:
+				target += "/" + ev.Spec.ScenarioDef.Name
 			}
 			if ev.Spec.Governor != "" {
 				target += "/" + ev.Spec.Governor

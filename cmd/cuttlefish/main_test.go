@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/experiments"
@@ -125,6 +126,111 @@ func TestSweepInProcessEndToEnd(t *testing.T) {
 	}
 	if st.Len() != 2 {
 		t.Errorf("store holds %d entries, want 2 (one per grid point)", st.Len())
+	}
+}
+
+// parseForTest runs the CLI's two-stage parse on a fresh flag set,
+// returning the experiment, the options and the globals it set.
+func parseForTest(t *testing.T, args ...string) (name, gotBench string, opt experiments.Options, err error) {
+	t.Helper()
+	benchName, scenarioFile, format, remote = "", "", "text", ""
+	listGov, listScen = false, false
+	backends = nil
+	t.Cleanup(func() {
+		benchName, scenarioFile, format, remote = "", "", "text", ""
+		listGov, listScen = false, false
+		backends = nil
+	})
+	opt = experiments.DefaultOptions()
+	fs := newFlagSet(&opt)
+	name, err = parseArgs(fs, args)
+	return name, benchName, opt, err
+}
+
+// TestFlagsAcceptedBeforeAndAfterSubcommand is the regression test for
+// the two-stage parsing fix: `cuttlefish -seed 7 run -bench X` and
+// `cuttlefish run -seed 7 -bench X` must parse identically.
+func TestFlagsAcceptedBeforeAndAfterSubcommand(t *testing.T) {
+	cases := [][]string{
+		{"-seed", "7", "run", "-bench", "UTS"},
+		{"run", "-seed", "7", "-bench", "UTS"},
+		{"-bench", "UTS", "-seed", "7", "run"},
+		{"run", "-seed", "7", "-bench", "UTS", "-format", "text"},
+	}
+	for _, args := range cases {
+		name, gotBench, opt, err := parseForTest(t, args...)
+		if err != nil {
+			t.Fatalf("%v: %v", args, err)
+		}
+		if name != "run" || gotBench != "UTS" || opt.Seed != 7 {
+			t.Errorf("%v: name=%q bench=%q seed=%d, want run/UTS/7", args, name, gotBench, opt.Seed)
+		}
+	}
+}
+
+// TestFlagErrorsNameTheFlag: a bad flag fails with an error naming it,
+// whether it appears before or after the subcommand (the old second
+// parse exited without any message of its own).
+func TestFlagErrorsNameTheFlag(t *testing.T) {
+	for _, args := range [][]string{
+		{"-sed", "7", "run"},
+		{"run", "-sed", "7"},
+		{"-seed", "7", "run", "-sed", "9"},
+	} {
+		_, _, _, err := parseForTest(t, args...)
+		if err == nil || !strings.Contains(err.Error(), "-sed") {
+			t.Errorf("%v: err = %v, want the offending flag named", args, err)
+		}
+	}
+	if _, _, _, err := parseForTest(t, "run", "UTS"); err == nil ||
+		!strings.Contains(err.Error(), "unexpected argument") {
+		t.Errorf("second positional: err = %v, want unexpected-argument", err)
+	}
+}
+
+// TestRunScenarioFile drives a JSON-only scenario through the CLI run
+// path: parse, build, one report row named after the definition.
+func TestRunScenarioFile(t *testing.T) {
+	dir := t.TempDir()
+	file := filepath.Join(dir, "probe.json")
+	def := `{
+		"name": "cli-probe",
+		"iterations": 2,
+		"phases": [{"instructions": 1e9, "miss_per_instr": 0.02, "ipc": 1.5, "jitter_frac": 0.05}]
+	}`
+	if err := os.WriteFile(file, []byte(def), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	scenarioFile = file
+	defer func() { scenarioFile = "" }()
+	o := tinyOptions()
+	if err := run("run", o, "text"); err != nil {
+		t.Fatalf("scenario run: %v", err)
+	}
+	// -scenario is run-only and exclusive with -bench.
+	if err := run("table1", o, "text"); err == nil {
+		t.Error("-scenario with table1 must error")
+	}
+	benchName = "UTS"
+	defer func() { benchName = "" }()
+	if err := run("run", o, "text"); err == nil {
+		t.Error("-bench with -scenario must error")
+	}
+}
+
+// TestRunRegisteredScenarioByName: -bench accepts registry names beyond
+// Table 1, so synthetic scenarios run through the same subcommand.
+func TestRunRegisteredScenarioByName(t *testing.T) {
+	benchName = "compute-bound"
+	defer func() { benchName = "" }()
+	o := tinyOptions()
+	o.Scale = 0.005
+	rep, err := build("run", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 1 || rep.Rows[0]["benchmark"] != "compute-bound" {
+		t.Errorf("rows = %+v", rep.Rows)
 	}
 }
 

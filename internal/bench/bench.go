@@ -19,6 +19,7 @@ package bench
 import (
 	"fmt"
 
+	"repro/internal/scenario"
 	"repro/internal/sched"
 	"repro/internal/workload"
 )
@@ -94,9 +95,9 @@ func (s Spec) Build(p Params) (workload.Source, error) {
 // stealOverhead returns the runtime's steal-path cost in instructions.
 func stealOverhead(m Model) float64 {
 	if m == HClib {
-		return 300 // lean work-first deques
+		return sched.StealOverheadHClib
 	}
-	return 700 // libomp task queue locking
+	return sched.StealOverheadOpenMP
 }
 
 // newTaskRuntime builds the work-stealing runtime used for both task
@@ -107,51 +108,77 @@ func newTaskRuntime(p Params, gen sched.RoundGen) *sched.WorkStealing {
 	return ws
 }
 
-// registry holds all ten benchmarks in Table 1 order.
-var registry = []Spec{
-	utsSpec(),
-	sorSpec(IrregularTasks),
-	sorSpec(RegularTasks),
-	sorWSSpec(),
-	heatSpec(IrregularTasks),
-	heatSpec(RegularTasks),
-	heatWSSpec(),
-	miniFESpec(),
-	hpccgSpec(),
-	amgSpec(),
+// init registers the ten Table 1 benchmarks with the shared scenario
+// registry, in Table 1 order. This package holds only the construction
+// logic; naming and lookup live in repro/internal/scenario, so the
+// benchmarks flow through the same registry the synthetic scenarios and
+// user JSON phase programs do — All/Get/Names below are thin views over
+// it.
+func init() {
+	for _, s := range []Spec{
+		utsSpec(),
+		sorSpec(IrregularTasks),
+		sorSpec(RegularTasks),
+		sorWSSpec(),
+		heatSpec(IrregularTasks),
+		heatSpec(RegularTasks),
+		heatWSSpec(),
+		miniFESpec(),
+		hpccgSpec(),
+		amgSpec(),
+	} {
+		scenario.MustRegister(entryOf(s))
+	}
 }
 
-// All returns the benchmark specs in Table 1 order.
+// entryOf adapts one benchmark to a registry entry. The Spec itself
+// rides along as the entry payload so the views below can return it
+// without a parallel lookup table.
+func entryOf(s Spec) scenario.Entry {
+	return scenario.Entry{
+		Name:           s.Name,
+		Kind:           scenario.KindBench,
+		Description:    fmt.Sprintf("Table 1 benchmark, %s, TIPI %.3f-%.3f", s.Style, s.TIPILow, s.TIPIHigh),
+		NominalSeconds: s.PaperSeconds,
+		Build: func(p scenario.Params) (workload.Source, error) {
+			return s.Build(Params{Cores: p.Cores, Scale: p.Scale, Seed: p.Seed, Model: Model(p.Model)})
+		},
+		Payload: s,
+	}
+}
+
+// All returns the benchmark specs in Table 1 order (the order this
+// package registered them in).
 func All() []Spec {
-	out := make([]Spec, len(registry))
-	copy(out, registry)
+	names := scenario.NamesOf(scenario.KindBench)
+	out := make([]Spec, len(names))
+	for i, n := range names {
+		e, _ := scenario.Get(n)
+		out[i] = e.Payload.(Spec)
+	}
 	return out
 }
 
-// Get looks a benchmark up by its Table 1 name.
+// Get looks a benchmark up by its Table 1 name — a view over the
+// scenario registry restricted to bench-kind entries.
 func Get(name string) (Spec, bool) {
-	for _, s := range registry {
-		if s.Name == name {
-			return s, true
-		}
+	e, ok := scenario.Get(name)
+	if !ok || e.Kind != scenario.KindBench {
+		return Spec{}, false
 	}
-	return Spec{}, false
+	return e.Payload.(Spec), true
 }
 
 // Names returns all benchmark names in Table 1 order.
 func Names() []string {
-	out := make([]string, len(registry))
-	for i, s := range registry {
-		out[i] = s.Name
-	}
-	return out
+	return scenario.NamesOf(scenario.KindBench)
 }
 
 // HClibNames returns the benchmarks evaluated under HClib in §5.2, in
 // Table 1 order.
 func HClibNames() []string {
 	var out []string
-	for _, s := range registry {
+	for _, s := range All() {
 		if s.HClibPort {
 			out = append(out, s.Name)
 		}

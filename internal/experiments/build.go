@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/report"
+	"repro/internal/scenario"
 )
 
 // Names lists the experiment harnesses BuildReport can run, in the
@@ -113,15 +114,54 @@ func BuildReport(name, benchName string, opt Options) (*report.RunReport, error)
 	}
 }
 
-// RunOneReport executes one benchmark Reps times under the configured
+// resolveWorkload maps the "run" experiment's selectors onto one
+// scenario-registry entry, in precedence order: an inline definition,
+// then the named workload (benchmark or registered scenario — both live
+// in the same registry, so one lookup serves both).
+func resolveWorkload(benchName string, opt Options) (scenario.Entry, error) {
+	if opt.ScenarioDef != nil {
+		def := opt.ScenarioDef.Normalized()
+		if err := def.Validate(); err != nil {
+			return scenario.Entry{}, err
+		}
+		cores := opt.Cores
+		if cores <= 0 {
+			cores = DefaultOptions().Cores
+		}
+		return scenario.Entry{
+			Name:           def.Name,
+			Description:    def.Description,
+			NominalSeconds: def.EstimateSeconds(cores),
+			Build:          def.Build,
+		}, nil
+	}
+	name := benchName
+	if name == "" {
+		name = opt.Scenario
+	}
+	if name == "" {
+		return scenario.Entry{}, fmt.Errorf("experiments: the run experiment needs a workload (benchmarks: %v; scenarios: %v)",
+			bench.Names(), scenario.NamesOf(scenario.KindSynthetic))
+	}
+	e, ok := scenario.Get(name)
+	if !ok {
+		return scenario.Entry{}, fmt.Errorf("experiments: unknown workload %q (benchmarks: %v; scenarios: %v)",
+			name, bench.Names(), scenario.NamesOf(scenario.KindSynthetic))
+	}
+	return e, nil
+}
+
+// RunOneReport executes one workload Reps times under the configured
 // governor and reports one row per repetition: the "run" experiment behind
-// POST /v1/runs. Repetition r runs with Seed+r, so the whole report is a
-// pure function of (benchmark, governor, tuning, cores, scale, reps, seed)
+// POST /v1/runs. The workload resolves through the scenario registry —
+// a Table 1 benchmark, a built-in synthetic scenario or an inline
+// definition. Repetition r runs with Seed+r, so the whole report is a
+// pure function of (workload, governor, tuning, cores, scale, reps, seed)
 // — the property the service cache keys on.
 func RunOneReport(benchName string, opt Options) (*report.RunReport, error) {
-	spec, ok := bench.Get(benchName)
-	if !ok {
-		return nil, fmt.Errorf("experiments: unknown benchmark %q (known: %v)", benchName, bench.Names())
+	entry, err := resolveWorkload(benchName, opt)
+	if err != nil {
+		return nil, err
 	}
 	gov := opt.governorName("default")
 	reps := opt.Reps
@@ -129,8 +169,8 @@ func RunOneReport(benchName string, opt Options) (*report.RunReport, error) {
 		reps = 1
 	}
 	results := make([]RunResult, reps)
-	err := forEach(reps, opt, func(r int) error {
-		res, err := RunOne(spec, gov, opt, opt.Seed+int64(r))
+	err = forEach(reps, opt, func(r int) error {
+		res, err := RunEntry(entry, gov, opt, opt.Seed+int64(r))
 		results[r] = res
 		return err
 	})
@@ -139,10 +179,10 @@ func RunOneReport(benchName string, opt Options) (*report.RunReport, error) {
 	}
 	rep := report.New("run", "benchmark", "governor", "rep", "seconds", "joules", "avg_watts", "edp", "avg_uncore_ghz")
 	rep.Governor = gov
-	rep.Title = fmt.Sprintf("%s under %s (scale %.2f, %d rep(s))", spec.Name, gov, opt.Scale, reps)
+	rep.Title = fmt.Sprintf("%s under %s (scale %.2f, %d rep(s))", entry.Name, gov, opt.Scale, reps)
 	rep.Meta = opt.meta()
 	for r, res := range results {
-		rep.AddRow(spec.Name, res.Governor, r, res.Seconds, res.Joules,
+		rep.AddRow(entry.Name, res.Governor, r, res.Seconds, res.Joules,
 			res.Joules/res.Seconds, res.EDP, res.AvgUncoreGHz)
 	}
 	return rep, nil

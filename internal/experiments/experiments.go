@@ -23,7 +23,9 @@ import (
 	"repro/internal/governor"
 	"repro/internal/machine"
 	"repro/internal/runner"
+	"repro/internal/scenario"
 	"repro/internal/stats"
+	"repro/internal/workload"
 )
 
 // Options configure an experiment run.
@@ -58,6 +60,14 @@ type Options struct {
 	// Governor overrides the execution environment of single-environment
 	// harnesses (Table1); empty means each harness's paper default.
 	Governor string
+	// Scenario names a registered workload scenario for the "run"
+	// experiment; empty means Benchmark (the benchName argument) selects
+	// the workload.
+	Scenario string
+	// ScenarioDef is an inline scenario definition (cuttlefish
+	// -scenario file.json, or a RunSpec's scenario_def); it takes
+	// precedence over Scenario and the benchmark name.
+	ScenarioDef *scenario.Definition
 	// Governors is the comparison set Compare evaluates against Baseline;
 	// empty means the paper's three Cuttlefish variants.
 	Governors []string
@@ -146,9 +156,35 @@ func RunOne(spec bench.Spec, gov string, opt Options, seed int64) (RunResult, er
 	return runGovernor(spec, g, opt, seed)
 }
 
+// RunEntry is RunOne for any workload in the scenario registry — a
+// Table 1 benchmark, a built-in synthetic or an inline definition
+// wrapped in an Entry. The run path (machine, governor bracket,
+// deadline, report fields) is identical; only the workload construction
+// differs.
+func RunEntry(e scenario.Entry, gov string, opt Options, seed int64) (RunResult, error) {
+	g, err := governor.New(gov, opt.tuning())
+	if err != nil {
+		return RunResult{}, err
+	}
+	return runSource(e.Name, e.NominalSeconds, func(cores int) (workload.Source, error) {
+		return e.Build(scenario.Params{Cores: cores, Scale: opt.Scale, Seed: seed, Model: string(opt.Model)})
+	}, g, opt)
+}
+
 // runGovernor is RunOne for an already constructed strategy (the ablation
 // study and sweeps build theirs directly).
 func runGovernor(spec bench.Spec, g governor.Governor, opt Options, seed int64) (RunResult, error) {
+	return runSource(spec.Name, spec.PaperSeconds, func(cores int) (workload.Source, error) {
+		return spec.Build(bench.Params{Cores: cores, Scale: opt.Scale, Seed: seed, Model: opt.Model})
+	}, g, opt)
+}
+
+// runSource executes one workload source under one attached governor:
+// the single simulation path every benchmark and scenario run funnels
+// through. nominalSec is the workload's approximate Default wall time at
+// Scale 1; the simulation deadline derives from it with generous
+// headroom.
+func runSource(name string, nominalSec float64, build func(cores int) (workload.Source, error), g governor.Governor, opt Options) (RunResult, error) {
 	cfg := opt.machineConfig()
 	m, err := machine.New(cfg)
 	if err != nil {
@@ -160,15 +196,15 @@ func runGovernor(spec bench.Spec, g governor.Governor, opt Options, seed int64) 
 		return RunResult{}, err
 	}
 	defer att.Detach() // uniform cleanup on every early return
-	src, err := spec.Build(bench.Params{Cores: cfg.Cores, Scale: opt.Scale, Seed: seed, Model: opt.Model})
+	src, err := build(cfg.Cores)
 	if err != nil {
 		return RunResult{}, err
 	}
 	m.SetSource(src)
-	maxSim := spec.PaperSeconds*opt.Scale*6 + opt.WarmupSec + 30
+	maxSim := nominalSec*opt.Scale*6 + opt.WarmupSec + 30
 	sec := m.Run(maxSim)
 	if !m.Finished() {
-		return RunResult{}, fmt.Errorf("experiments: %s/%s did not finish in %.0f simulated seconds", spec.Name, g.Name(), maxSim)
+		return RunResult{}, fmt.Errorf("experiments: %s/%s did not finish in %.0f simulated seconds", name, g.Name(), maxSim)
 	}
 	if err := att.Detach(); err != nil {
 		return RunResult{}, err

@@ -72,7 +72,7 @@ func Aggregate(sweepName string, results []SpecResult) (*report.RunReport, error
 	}
 
 	out := report.New("sweep",
-		"benchmark", "governor", "tinv_sec", "cores", "reps", "seed", "scale",
+		"workload", "governor", "tinv_sec", "cores", "reps", "seed", "scale",
 		"seconds", "joules", "avg_watts", "edp",
 		"best_energy", "best_runtime", "pareto", "spec")
 	name := sweepName
@@ -86,12 +86,26 @@ func Aggregate(sweepName string, results []SpecResult) (*report.RunReport, error
 		if rd.seconds > 0 {
 			watts = rd.joules / rd.seconds
 		}
-		out.AddRow(rd.spec.Benchmark, rd.spec.Governor, rd.spec.TinvSec, rd.spec.Cores,
+		out.AddRow(workloadName(rd.spec), rd.spec.Governor, rd.spec.TinvSec, rd.spec.Cores,
 			rd.spec.Reps, rd.spec.Seed, rd.spec.Scale,
 			rd.seconds, rd.joules, watts, stats.EDP(rd.joules, rd.seconds),
 			bestEnergy[i], bestRuntime[i], pareto[i], rd.hash[:12])
 	}
 	return out, nil
+}
+
+// workloadName renders a spec's workload for the aggregate's rows: the
+// benchmark, the registered scenario, or an inline definition's name.
+func workloadName(spec service.RunSpec) string {
+	switch {
+	case spec.Benchmark != "":
+		return spec.Benchmark
+	case spec.Scenario != "":
+		return spec.Scenario
+	case spec.ScenarioDef != nil:
+		return spec.ScenarioDef.Name
+	}
+	return ""
 }
 
 // dominated reports whether row i's (joules, seconds) point is strictly

@@ -23,10 +23,14 @@ type Config struct {
 	// (0 = 2 × len(Backends) + 1).
 	Attempts int
 	// RetryBase is the first inter-attempt backoff; attempt k waits
-	// service.Backoff(k): RetryBase·2^k jittered, capped at RetryMax
-	// (0 = 200ms / 5s).
+	// RetryBase·2^k jittered, capped at RetryMax (0 = 200ms / 5s).
 	RetryBase time.Duration
 	RetryMax  time.Duration
+	// RetrySeed seeds the orchestrator's private backoff-jitter source,
+	// making inter-attempt delays reproducible in tests (0 = a one-time
+	// clock-derived seed; the jitter never touches the global rand
+	// source, so concurrent sweeps cannot contend on it).
+	RetrySeed int64
 	// OnEvent observes progress (completed specs and failover attempts);
 	// nil means silent. Called from dispatcher goroutines, serialized.
 	OnEvent func(Event)
@@ -37,11 +41,16 @@ type Event struct {
 	// Done and Total count completed and expanded specs; Done is 0 for
 	// failover (attempt-failed) events.
 	Done, Total int
-	Spec        service.RunSpec
-	Hash        string
-	Backend     string
-	Outcome     service.Outcome
-	Attempt     int
+	// Duplicates counts grid cells the expansion dropped because they
+	// hashed identically to an earlier cell; it is constant across a
+	// sweep's events so observers can surface why Total is smaller than
+	// the axes' cross-product.
+	Duplicates int
+	Spec       service.RunSpec
+	Hash       string
+	Backend    string
+	Outcome    service.Outcome
+	Attempt    int
 	// Err is the attempt's failure; nil for completion events.
 	Err error
 }
@@ -68,20 +77,24 @@ type BackendStats struct {
 
 // Summary is a sweep's operational outcome. Executed counts specs a
 // backend actually simulated (miss or coalesced); Hits/DiskHits came
-// from cache tiers and cost nothing.
+// from cache tiers and cost nothing. Duplicates counts grid cells the
+// expansion dropped as hash-identical to earlier cells — reported so a
+// sweep never silently claims fewer cells than its cross-product.
 type Summary struct {
-	Specs     int                     `json:"specs"`
-	Executed  int                     `json:"executed"`
-	Hits      int                     `json:"hits"`
-	DiskHits  int                     `json:"disk_hits"`
-	Failovers int                     `json:"failovers"`
-	Failed    int                     `json:"failed"`
-	Backends  map[string]BackendStats `json:"backends"`
+	Specs      int                     `json:"specs"`
+	Duplicates int                     `json:"duplicates,omitempty"`
+	Executed   int                     `json:"executed"`
+	Hits       int                     `json:"hits"`
+	DiskHits   int                     `json:"disk_hits"`
+	Failovers  int                     `json:"failovers"`
+	Failed     int                     `json:"failed"`
+	Backends   map[string]BackendStats `json:"backends"`
 }
 
 // String renders the one-line operational summary the CLI prints (and
 // the CI smoke job greps): counts are colon/comma-delimited so
-// "executed: 0" matches unambiguously.
+// "executed: 0" matches unambiguously. The duplicate-cell note appears
+// only when cells were actually dropped, keeping the common line stable.
 func (s Summary) String() string {
 	names := make([]string, 0, len(s.Backends))
 	for n := range s.Backends {
@@ -93,8 +106,12 @@ func (s Summary) String() string {
 		b := s.Backends[n]
 		per[i] = fmt.Sprintf("%s %d run(s) %d failure(s)", n, b.Runs, b.Failures)
 	}
-	return fmt.Sprintf("%d spec(s), executed: %d, cache hits: %d, disk hits: %d, failovers: %d, failed: %d [%s]",
-		s.Specs, s.Executed, s.Hits, s.DiskHits, s.Failovers, s.Failed, strings.Join(per, "; "))
+	specs := fmt.Sprintf("%d spec(s)", s.Specs)
+	if s.Duplicates > 0 {
+		specs = fmt.Sprintf("%d spec(s) (%d duplicate cell(s) dropped)", s.Specs, s.Duplicates)
+	}
+	return fmt.Sprintf("%s, executed: %d, cache hits: %d, disk hits: %d, failovers: %d, failed: %d [%s]",
+		specs, s.Executed, s.Hits, s.DiskHits, s.Failovers, s.Failed, strings.Join(per, "; "))
 }
 
 // SweepResult is a completed sweep: per-spec results in expansion
@@ -122,6 +139,7 @@ const quarantineAfter = 3
 // Orchestrator dispatches expanded sweeps over its backends.
 type Orchestrator struct {
 	cfg    Config
+	jitter *service.Jitter
 	mu     sync.Mutex
 	states []backendState
 	evMu   sync.Mutex
@@ -144,26 +162,36 @@ func New(cfg Config) (*Orchestrator, error) {
 	if cfg.RetryMax <= 0 {
 		cfg.RetryMax = 5 * time.Second
 	}
-	return &Orchestrator{cfg: cfg, states: make([]backendState, len(cfg.Backends))}, nil
+	return &Orchestrator{
+		cfg:    cfg,
+		jitter: service.NewJitter(cfg.RetrySeed),
+		states: make([]backendState, len(cfg.Backends)),
+	}, nil
 }
 
 // Run expands the sweep and executes every spec, failing over between
 // backends as needed. It returns the per-spec results even when some
 // specs ultimately failed; the error then summarizes the failures.
 func (o *Orchestrator) Run(ctx context.Context, sweep SweepSpec) (*SweepResult, error) {
-	specs, err := sweep.Expand()
+	specs, dropped, err := sweep.Expand()
 	if err != nil {
 		return nil, err
 	}
-	return o.RunSpecs(ctx, specs)
+	return o.run(ctx, specs, dropped)
 }
 
 // RunSpecs executes an already-expanded spec list (normalized RunSpecs).
 func (o *Orchestrator) RunSpecs(ctx context.Context, specs []service.RunSpec) (*SweepResult, error) {
+	return o.run(ctx, specs, 0)
+}
+
+// run drives an expanded spec list; dropped is the expansion's
+// duplicate-cell count, carried into every event and the summary.
+func (o *Orchestrator) run(ctx context.Context, specs []service.RunSpec, dropped int) (*SweepResult, error) {
 	res := &SweepResult{
 		Specs:   specs,
 		Results: make([]SpecResult, len(specs)),
-		Summary: Summary{Specs: len(specs), Backends: map[string]BackendStats{}},
+		Summary: Summary{Specs: len(specs), Duplicates: dropped, Backends: map[string]BackendStats{}},
 	}
 	var done int
 	var doneMu sync.Mutex
@@ -179,7 +207,7 @@ func (o *Orchestrator) RunSpecs(ctx context.Context, specs []service.RunSpec) (*
 		go func() {
 			defer wg.Done()
 			for i := range work {
-				r := o.runSpec(ctx, specs[i], len(specs), &done, &doneMu)
+				r := o.runSpec(ctx, specs[i], len(specs), dropped, &done, &doneMu)
 				res.Results[i] = r
 			}
 		}()
@@ -229,7 +257,7 @@ func (o *Orchestrator) RunSpecs(ctx context.Context, specs []service.RunSpec) (*
 // runSpec drives one spec to completion: pick the least-loaded healthy
 // backend, run, and on failure retry — preferring backends not yet
 // tried this spec — until the attempt budget runs out.
-func (o *Orchestrator) runSpec(ctx context.Context, spec service.RunSpec, total int, done *int, doneMu *sync.Mutex) SpecResult {
+func (o *Orchestrator) runSpec(ctx context.Context, spec service.RunSpec, total, dropped int, done *int, doneMu *sync.Mutex) SpecResult {
 	hash := spec.Hash()
 	out := SpecResult{Spec: spec, Hash: hash}
 	tried := make(map[int]bool)
@@ -241,7 +269,7 @@ func (o *Orchestrator) runSpec(ctx context.Context, spec service.RunSpec, total 
 		}
 		if attempt > 1 {
 			select {
-			case <-time.After(service.Backoff(attempt-2, o.cfg.RetryBase, o.cfg.RetryMax)):
+			case <-time.After(o.jitter.Backoff(attempt-2, o.cfg.RetryBase, o.cfg.RetryMax)):
 			case <-ctx.Done():
 				out.Attempts, out.Err = attempt-1, ctx.Err()
 				return out
@@ -258,7 +286,7 @@ func (o *Orchestrator) runSpec(ctx context.Context, spec service.RunSpec, total 
 			*done++
 			d := *done
 			doneMu.Unlock()
-			o.emit(Event{Done: d, Total: total, Spec: spec, Hash: hash, Backend: backend.Name(), Outcome: outcome, Attempt: attempt})
+			o.emit(Event{Done: d, Total: total, Duplicates: dropped, Spec: spec, Hash: hash, Backend: backend.Name(), Outcome: outcome, Attempt: attempt})
 			return out
 		}
 		lastErr = fmt.Errorf("%s: %w", backend.Name(), err)
@@ -267,7 +295,7 @@ func (o *Orchestrator) runSpec(ctx context.Context, spec service.RunSpec, total 
 			// Every backend failed this spec once; allow re-visits.
 			tried = make(map[int]bool)
 		}
-		o.emit(Event{Total: total, Spec: spec, Hash: hash, Backend: backend.Name(), Attempt: attempt, Err: err})
+		o.emit(Event{Total: total, Duplicates: dropped, Spec: spec, Hash: hash, Backend: backend.Name(), Attempt: attempt, Err: err})
 	}
 	out.Err = fmt.Errorf("spec %s exhausted %d attempt(s): %w", hash[:12], o.cfg.Attempts, lastErr)
 	return out

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -307,6 +308,50 @@ func TestProgressEventsCoverEverySpec(t *testing.T) {
 func TestNewRejectsNoBackends(t *testing.T) {
 	if _, err := New(Config{}); err == nil {
 		t.Error("New must reject an empty backend set")
+	}
+}
+
+// TestDuplicateCellsSurfaceInEventsAndSummary pins the silent-shrinkage
+// fix end to end: a sweep whose axes collapse under hash-dedup must
+// carry the dropped count on every progress event and in the summary,
+// instead of just reporting a smaller Total.
+func TestDuplicateCellsSurfaceInEventsAndSummary(t *testing.T) {
+	sweep := SweepSpec{
+		Axes: Axes{
+			Benchmarks: []string{"UTS"},
+			Seeds:      Axis{Values: []float64{1, 1, 2}}, // duplicate draw, as a rounded sampled axis would produce
+
+		},
+	}
+	var mu sync.Mutex
+	var dupSeen []int
+	o, err := New(Config{Backends: []Backend{&stubBackend{name: "a"}}, OnEvent: func(ev Event) {
+		mu.Lock()
+		dupSeen = append(dupSeen, ev.Duplicates)
+		mu.Unlock()
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := o.Run(context.Background(), sweep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Summary.Specs != 2 || res.Summary.Duplicates != 1 {
+		t.Errorf("summary specs=%d duplicates=%d, want 2 and 1", res.Summary.Specs, res.Summary.Duplicates)
+	}
+	if got := res.Summary.String(); !strings.Contains(got, "1 duplicate cell(s) dropped") {
+		t.Errorf("summary line %q must mention the dropped duplicates", got)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(dupSeen) == 0 {
+		t.Fatal("no events observed")
+	}
+	for _, d := range dupSeen {
+		if d != 1 {
+			t.Errorf("event Duplicates = %d, want 1 on every event", d)
+		}
 	}
 }
 

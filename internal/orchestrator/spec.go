@@ -90,10 +90,14 @@ func (a Axis) expand() ([]float64, error) {
 	}
 }
 
-// Axes are the sweep dimensions. String axes (benchmarks, governors)
-// are explicit lists; numeric axes may also be sampled distributions.
+// Axes are the sweep dimensions. String axes (benchmarks, scenarios,
+// governors) are explicit lists; numeric axes may also be sampled
+// distributions. Benchmarks and scenarios merge into one workload
+// dimension — a sweep may mix Table 1 benchmarks and registered
+// scenarios freely.
 type Axes struct {
 	Benchmarks []string `json:"benchmarks,omitempty"`
+	Scenarios  []string `json:"scenarios,omitempty"`
 	Governors  []string `json:"governors,omitempty"`
 	TinvSec    Axis     `json:"tinv_sec,omitempty"`
 	Cores      Axis     `json:"cores,omitempty"`
@@ -136,28 +140,59 @@ type numAxis struct {
 	set  func(*service.RunSpec, float64)
 }
 
+// workloadSel is one point of the merged workload dimension: either a
+// benchmark name, a registered scenario name, or neither (keep the base
+// spec's workload, including an inline scenario_def).
+type workloadSel struct {
+	bench, scen string
+}
+
+// workloadAxis merges the benchmarks and scenarios axes into the sweep's
+// first dimension, benchmarks first, each in listed order.
+func (s SweepSpec) workloadAxis(experiment string) ([]workloadSel, error) {
+	if experiment != "run" {
+		// Only "run" consults the workload; silently collapsing an
+		// explicit axis would hide a spec mistake until after the grid ran.
+		if len(s.Axes.Benchmarks) > 0 {
+			return nil, fmt.Errorf("%w: experiment %q ignores benchmarks; drop the axis", ErrBadSweep, experiment)
+		}
+		if len(s.Axes.Scenarios) > 0 {
+			return nil, fmt.Errorf("%w: experiment %q ignores scenarios; drop the axis", ErrBadSweep, experiment)
+		}
+		return []workloadSel{{}}, nil
+	}
+	var workloads []workloadSel
+	for _, b := range s.Axes.Benchmarks {
+		workloads = append(workloads, workloadSel{bench: b})
+	}
+	for _, sc := range s.Axes.Scenarios {
+		workloads = append(workloads, workloadSel{scen: sc})
+	}
+	if len(workloads) == 0 {
+		if s.Base.Benchmark == "" && s.Base.Scenario == "" && s.Base.ScenarioDef == nil {
+			return nil, fmt.Errorf("%w: a \"run\" sweep needs a benchmarks or scenarios axis (or a base workload)", ErrBadSweep)
+		}
+		workloads = []workloadSel{{}} // one pass with the base workload
+	}
+	return workloads, nil
+}
+
 // Expand resolves the sweep into its normalized, validated, hash-
 // deduplicated RunSpecs, in deterministic row-major axis order
-// (benchmarks × governors × tinv × cores × reps × seeds × scales).
-func (s SweepSpec) Expand() ([]service.RunSpec, error) {
+// (workloads × governors × tinv × cores × reps × seeds × scales, the
+// workload dimension being benchmarks then scenarios). The second
+// return counts grid cells dropped because they hashed identically to
+// an earlier cell (e.g. a sampled axis drawing duplicate values after
+// integer rounding) — callers surface it so a sweep never silently
+// reports fewer cells than its cross-product.
+func (s SweepSpec) Expand() ([]service.RunSpec, int, error) {
 	experiment := s.Experiment
 	if experiment == "" {
 		experiment = "run"
 	}
-	benches := s.Axes.Benchmarks
-	if experiment != "run" {
-		// Only "run" consults the benchmark; silently collapsing an
-		// explicit axis would hide a spec mistake until after the grid ran.
-		if len(benches) > 0 {
-			return nil, fmt.Errorf("%w: experiment %q ignores benchmarks; drop the axis", ErrBadSweep, experiment)
-		}
-		benches = []string{""}
-	} else if len(benches) == 0 {
-		if s.Base.Benchmark != "" {
-			benches = []string{s.Base.Benchmark}
-		} else {
-			return nil, fmt.Errorf("%w: a \"run\" sweep needs a benchmarks axis", ErrBadSweep)
-		}
+	workloads, err := s.workloadAxis(experiment)
+	if err != nil {
+		return nil, 0, err
 	}
 	governors := s.Axes.Governors
 	if len(governors) == 0 {
@@ -174,12 +209,12 @@ func (s SweepSpec) Expand() ([]service.RunSpec, error) {
 	for i, ax := range []Axis{s.Axes.TinvSec, s.Axes.Cores, s.Axes.Reps, s.Axes.Seeds, s.Axes.Scales} {
 		vals, err := ax.expand()
 		if err != nil {
-			return nil, fmt.Errorf("axis %s: %w", numeric[i].name, err)
+			return nil, 0, fmt.Errorf("axis %s: %w", numeric[i].name, err)
 		}
 		numeric[i].vals = vals
 	}
 
-	lens := []int{len(benches), len(governors)}
+	lens := []int{len(workloads), len(governors)}
 	for _, ax := range numeric {
 		n := len(ax.vals)
 		if n == 0 {
@@ -190,6 +225,7 @@ func (s SweepSpec) Expand() ([]service.RunSpec, error) {
 
 	specs := make([]service.RunSpec, 0, grid.Size(lens))
 	seen := make(map[string]bool)
+	dropped := 0
 	var expandErr error
 	grid.Cross(lens, func(idx []int) {
 		if expandErr != nil {
@@ -197,7 +233,9 @@ func (s SweepSpec) Expand() ([]service.RunSpec, error) {
 		}
 		spec := s.Base
 		spec.Experiment = experiment
-		spec.Benchmark = benches[idx[0]]
+		if w := workloads[idx[0]]; w.bench != "" || w.scen != "" {
+			spec.Benchmark, spec.Scenario, spec.ScenarioDef = w.bench, w.scen, nil
+		}
 		if g := governors[idx[1]]; g != "" {
 			spec.Governor = g
 		}
@@ -214,15 +252,17 @@ func (s SweepSpec) Expand() ([]service.RunSpec, error) {
 		if h := norm.Hash(); !seen[h] {
 			seen[h] = true
 			specs = append(specs, norm)
+		} else {
+			dropped++
 		}
 	})
 	if expandErr != nil {
-		return nil, expandErr
+		return nil, 0, expandErr
 	}
 	if len(specs) == 0 {
-		return nil, fmt.Errorf("%w: the axes expand to zero runs", ErrBadSweep)
+		return nil, 0, fmt.Errorf("%w: the axes expand to zero runs", ErrBadSweep)
 	}
-	return specs, nil
+	return specs, dropped, nil
 }
 
 func roundInt(v float64) int { return int(math.Round(v)) }

@@ -15,7 +15,7 @@ func TestExpandCrossProduct(t *testing.T) {
 			Seeds:      Axis{Values: []float64{1, 2, 3}},
 		},
 	}
-	specs, err := sweep.Expand()
+	specs, _, err := sweep.Expand()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -33,6 +33,10 @@ func TestExpandCrossProduct(t *testing.T) {
 	}
 }
 
+// TestExpandDeduplicatesByHash also pins the silent-shrinkage fix: the
+// dropped-duplicate count must come back alongside the surviving specs,
+// so the CLI and summary can report why the sweep has fewer cells than
+// its cross-product.
 func TestExpandDeduplicatesByHash(t *testing.T) {
 	sweep := SweepSpec{
 		Axes: Axes{
@@ -40,12 +44,67 @@ func TestExpandDeduplicatesByHash(t *testing.T) {
 			Seeds:      Axis{Values: []float64{1, 1, 2}},
 		},
 	}
-	specs, err := sweep.Expand()
+	specs, dropped, err := sweep.Expand()
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(specs) != 2 {
 		t.Fatalf("expanded %d specs, want 2 after dedup", len(specs))
+	}
+	if want := 2*3 - 2; dropped != want {
+		t.Errorf("dropped = %d, want %d (cross-product minus survivors)", dropped, want)
+	}
+}
+
+// TestExpandScenariosAxis: registered scenarios sweep exactly like
+// benchmarks, and the two merge into one workload dimension
+// (benchmarks first).
+func TestExpandScenariosAxis(t *testing.T) {
+	sweep := SweepSpec{
+		Axes: Axes{
+			Benchmarks: []string{"UTS"},
+			Scenarios:  []string{"bursty", "memory-bound"},
+			Seeds:      Axis{Values: []float64{1, 2}},
+		},
+	}
+	specs, dropped, err := sweep.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 3*2 || dropped != 0 {
+		t.Fatalf("expanded %d specs (dropped %d), want 6 (0)", len(specs), dropped)
+	}
+	if specs[0].Benchmark != "UTS" || specs[0].Scenario != "" {
+		t.Errorf("first workload = %+v, want benchmark UTS", specs[0])
+	}
+	if specs[2].Scenario != "bursty" || specs[2].Benchmark != "" {
+		t.Errorf("third workload = bench %q scen %q, want scenario bursty", specs[2].Benchmark, specs[2].Scenario)
+	}
+	// A scenario axis naming a Table 1 benchmark normalizes into the
+	// benchmark field and hash-dedups against the benchmarks axis.
+	alias := SweepSpec{
+		Axes: Axes{
+			Benchmarks: []string{"UTS"},
+			Scenarios:  []string{"UTS"},
+		},
+	}
+	specs, dropped, err = alias.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 1 || dropped != 1 {
+		t.Errorf("aliased workload: %d specs, %d dropped, want 1 and 1", len(specs), dropped)
+	}
+}
+
+func TestExpandUnknownScenario(t *testing.T) {
+	sweep := SweepSpec{Axes: Axes{Scenarios: []string{"no-such"}}}
+	if _, _, err := sweep.Expand(); err == nil || !strings.Contains(err.Error(), "unknown scenario") {
+		t.Errorf("err = %v, want unknown scenario", err)
+	}
+	bad := SweepSpec{Experiment: "table1", Axes: Axes{Scenarios: []string{"bursty"}}}
+	if _, _, err := bad.Expand(); err == nil || !strings.Contains(err.Error(), "ignores scenarios") {
+		t.Errorf("err = %v, want ignores scenarios", err)
 	}
 }
 
@@ -56,11 +115,11 @@ func TestExpandDistributionAxisIsDeterministic(t *testing.T) {
 			Scales:     Axis{Dist: &DistSpec{Dist: "kumaraswamy", A: 2, B: 3, N: 4, Seed: 9, Min: 0.01, Max: 0.05}},
 		},
 	}
-	a, err := sweep.Expand()
+	a, _, err := sweep.Expand()
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := sweep.Expand()
+	b, _, err := sweep.Expand()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,7 +151,7 @@ func TestExpandErrors(t *testing.T) {
 		sweep SweepSpec
 		want  string
 	}{
-		{"missing benchmarks", SweepSpec{}, "needs a benchmarks axis"},
+		{"missing benchmarks", SweepSpec{}, "needs a benchmarks or scenarios axis"},
 		{"unknown benchmark", SweepSpec{Axes: Axes{Benchmarks: []string{"NoSuch"}}}, "unknown benchmark"},
 		{"unknown governor", SweepSpec{Axes: Axes{Benchmarks: []string{"UTS"}, Governors: []string{"warp"}}}, "unknown governor"},
 		{"unknown distribution", SweepSpec{Axes: Axes{Benchmarks: []string{"UTS"},
@@ -102,7 +161,7 @@ func TestExpandErrors(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			_, err := tc.sweep.Expand()
+			_, _, err := tc.sweep.Expand()
 			if err == nil || !strings.Contains(err.Error(), tc.want) {
 				t.Errorf("err = %v, want mention of %q", err, tc.want)
 			}
@@ -120,14 +179,14 @@ func TestExpandNonRunExperiment(t *testing.T) {
 			Seeds:      Axis{Values: []float64{1, 2}},
 		},
 	}
-	if _, err := bad.Expand(); err == nil || !strings.Contains(err.Error(), "ignores benchmarks") {
+	if _, _, err := bad.Expand(); err == nil || !strings.Contains(err.Error(), "ignores benchmarks") {
 		t.Errorf("benchmarks axis on table1: err = %v, want rejection", err)
 	}
 	sweep := SweepSpec{
 		Experiment: "table1",
 		Axes:       Axes{Seeds: Axis{Values: []float64{1, 2}}},
 	}
-	specs, err := sweep.Expand()
+	specs, _, err := sweep.Expand()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,7 +218,7 @@ func TestAxisJSONRoundTrip(t *testing.T) {
 	if spec.Axes.Scales.Dist == nil || spec.Axes.Scales.Dist.N != 3 {
 		t.Errorf("scales dist = %+v, want kumaraswamy n=3", spec.Axes.Scales.Dist)
 	}
-	specs, err := spec.Expand()
+	specs, _, err := spec.Expand()
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,276 @@
+// Built-in synthetic scenarios: the workload regimes the paper's ten
+// benchmarks only partially cover, expressed as phase programs through
+// the same DSL user files use. Each opens one axis of scenario diversity
+// — pure compute, bandwidth saturation, bursty phase alternation, ramped
+// TIPI drift, NUMA-remote pressure and co-run interference — with fully
+// deterministic seeded generators, so every one of them is servable and
+// sweepable exactly like a Table 1 benchmark.
+package scenario
+
+import (
+	"fmt"
+
+	"repro/internal/workload"
+)
+
+func ptr(v float64) *float64 { return &v }
+
+// computeBoundDef is near-zero TIPI at high IPC: the UTS end of Table 1
+// without its task-tree imbalance. The daemon should park uncore low
+// and keep cores at the maximum.
+func computeBoundDef() Definition {
+	return Definition{
+		Name:        "compute-bound",
+		Description: "high-IPC arithmetic, near-zero TIPI; uncore should idle",
+		Iterations:  50,
+		Phases: []PhaseDef{{
+			Name:         "crunch",
+			Instructions: 2.0e12,
+			MissPerInstr: 0.0008,
+			IPC:          2.2,
+			RemoteFrac:   0.1,
+			JitterFrac:   0.05,
+		}},
+	}
+}
+
+// memoryBoundDef saturates the memory subsystem: TIPI past the AMG end
+// of Table 1, most latency exposed. Core frequency barely matters;
+// uncore is everything.
+func memoryBoundDef() Definition {
+	return Definition{
+		Name:        "memory-bound",
+		Description: "bandwidth-saturating streaming, TIPI above the Table 1 range",
+		Iterations:  40,
+		Phases: []PhaseDef{{
+			Name:         "stream",
+			Instructions: 2.0e11,
+			MissPerInstr: 0.09,
+			IPC:          0.9,
+			RemoteFrac:   0.35,
+			Exposure:     ptr(0.5),
+			MissJitter:   0.004,
+			JitterFrac:   0.05,
+		}},
+	}
+}
+
+// burstyDef alternates long compute stretches with short memory bursts
+// each iteration — the regime where exploration cost matters most,
+// because the frequent slab changes every few Tinv samples.
+func burstyDef() Definition {
+	return Definition{
+		Name:        "bursty",
+		Description: "compute stretches punctuated by memory bursts each iteration",
+		Iterations:  60,
+		Phases: []PhaseDef{
+			{
+				Name:         "compute",
+				Instructions: 8.0e11,
+				MissPerInstr: 0.001,
+				IPC:          2.1,
+				RemoteFrac:   0.1,
+				JitterFrac:   0.05,
+			},
+			{
+				Name:         "burst",
+				Instructions: 1.0e11,
+				MissPerInstr: 0.12,
+				IPC:          1.0,
+				RemoteFrac:   0.35,
+				Exposure:     ptr(0.8),
+				MissJitter:   0.006,
+			},
+		},
+	}
+}
+
+// rampDef walks the TIPI range bottom to top in five long steps — a
+// slow phase drift rather than alternation, stressing the daemon's
+// slab-table reuse as each regime is revisited never.
+func rampDef() Definition {
+	steps := []struct {
+		miss float64
+		ipc  float64
+	}{
+		{0.004, 2.2}, {0.020, 1.8}, {0.045, 1.4}, {0.070, 1.1}, {0.100, 0.9},
+	}
+	d := Definition{
+		Name:        "ramp",
+		Description: "TIPI ramps through five regimes, low to high, one long stretch each",
+	}
+	for i, s := range steps {
+		d.Phases = append(d.Phases, PhaseDef{
+			Name:         fmt.Sprintf("step%d", i+1),
+			Instructions: 1.2e11,
+			MissPerInstr: s.miss,
+			IPC:          s.ipc,
+			RemoteFrac:   0.25,
+			Exposure:     ptr(0.7),
+			Repeat:       30,
+			MissJitter:   0.002,
+		})
+	}
+	return d
+}
+
+// numaRemoteDef sends most misses to the remote socket — the
+// numactl --interleave pathology taken to its extreme, where TOR
+// occupancy per miss (and hence the paper's latency model) is worst.
+func numaRemoteDef() Definition {
+	return Definition{
+		Name:        "numa-remote",
+		Description: "remote-socket-heavy misses; worst-case TOR occupancy per miss",
+		Iterations:  40,
+		Phases: []PhaseDef{{
+			Name:         "remote-chase",
+			Instructions: 2.5e11,
+			MissPerInstr: 0.07,
+			IPC:          1.2,
+			RemoteFrac:   0.9,
+			Exposure:     ptr(0.7),
+			MissJitter:   0.003,
+			JitterFrac:   0.05,
+		}},
+	}
+}
+
+// multiphaseDef cycles three distinct regimes per iteration — the
+// stencil sweep / residual reduction / pointer update structure of a
+// real multi-kernel application, each phase its own TIPI slab.
+func multiphaseDef() Definition {
+	return Definition{
+		Name:        "multiphase",
+		Description: "three alternating kernels per iteration, one TIPI slab each",
+		Iterations:  80,
+		Phases: []PhaseDef{
+			{
+				Name:         "sweep",
+				Instructions: 6.0e11,
+				MissPerInstr: 0.066,
+				IPC:          2.0,
+				RemoteFrac:   0.35,
+				Exposure:     ptr(0.6),
+				MissJitter:   0.004,
+				JitterFrac:   0.05,
+			},
+			{
+				Name:         "reduce",
+				Instructions: 0.6e11,
+				MissPerInstr: 0.014,
+				IPC:          1.2,
+				RemoteFrac:   0.35,
+				Exposure:     ptr(0.4),
+			},
+			{
+				Name:         "update",
+				Instructions: 1.2e11,
+				MissPerInstr: 0.15,
+				IPC:          1.1,
+				RemoteFrac:   0.35,
+				Exposure:     ptr(0.9),
+				MissJitter:   0.006,
+			},
+		},
+	}
+}
+
+// burstyTasksDef is the bursty program under the task-DAG decomposition
+// — same phase budgets, executed as binary task trees on the
+// work-stealing runtime, so the scenario axis also exercises the
+// paper's second programming model.
+func burstyTasksDef() Definition {
+	d := burstyDef()
+	d.Name = "bursty-tasks"
+	d.Description = "the bursty program as binary task DAGs on the stealing runtime"
+	d.Decomposition = TaskDAG
+	return d
+}
+
+// registerDef wires one DSL definition into the registry.
+func registerDef(def Definition) {
+	norm := def.Normalized()
+	if err := norm.Validate(); err != nil {
+		panic(err)
+	}
+	MustRegister(Entry{
+		Name:           norm.Name,
+		Kind:           KindSynthetic,
+		Description:    norm.Description,
+		NominalSeconds: norm.EstimateSeconds(20),
+		Build:          norm.Build,
+	})
+}
+
+// corunSeedTag decorrelates corun-mix's compute component from its
+// memory component without landing on any seed the Seed+rep schedule
+// will visit.
+const corunSeedTag = 0x2b7e151628aed2a5
+
+// corunCores splits a socket for the co-run mix: the memory component
+// gets the lower half of the cores, the compute component the rest.
+func corunCores(total int) (mem, compute int, err error) {
+	if total < 2 {
+		return 0, 0, fmt.Errorf("scenario: corun-mix needs at least 2 cores, got %d", total)
+	}
+	return total / 2, total - total/2, nil
+}
+
+func init() {
+	registerDef(computeBoundDef())
+	registerDef(memoryBoundDef())
+	registerDef(burstyDef())
+	registerDef(rampDef())
+	registerDef(numaRemoteDef())
+	registerDef(multiphaseDef())
+	registerDef(burstyTasksDef())
+
+	// corun-mix is the one built-in the DSL cannot express alone: two
+	// phase programs co-running on one socket through a static core
+	// partition (the paper's future-work scenario). The daemon observes
+	// the socket-wide blend of both components' TIPI and must pick one
+	// frequency pair for the mix.
+	memDef, cpuDef := memoryBoundDef().Normalized(), computeBoundDef().Normalized()
+	MustRegister(Entry{
+		Name:        "corun-mix",
+		Kind:        KindSynthetic,
+		Description: "memory-bound and compute-bound co-running on one partitioned socket",
+		// The components run concurrently on half a socket each; the mix
+		// lasts about as long as its slower member on half the cores.
+		NominalSeconds: maxf(memDef.EstimateSeconds(10), cpuDef.EstimateSeconds(10)),
+		Build: func(p Params) (workload.Source, error) {
+			memCores, cpuCores, err := corunCores(p.Cores)
+			if err != nil {
+				return nil, err
+			}
+			memSrc, err := memDef.Build(Params{Cores: memCores, Scale: p.Scale, Seed: p.Seed, Model: p.Model})
+			if err != nil {
+				return nil, err
+			}
+			// Decorrelate the components' jitter streams with a fixed tag
+			// (the mix stays a pure function of the seed). A small additive
+			// offset would collide with the rep-seed schedule Seed+r: rep
+			// r's compute half would replay rep r+1's memory half draw for
+			// draw, cross-correlating "independent" repetitions.
+			cpuSrc, err := cpuDef.Build(Params{Cores: cpuCores, Scale: p.Scale, Seed: p.Seed ^ corunSeedTag, Model: p.Model})
+			if err != nil {
+				return nil, err
+			}
+			part := workload.NewPartition()
+			if err := part.Assign(memSrc, 0, memCores); err != nil {
+				return nil, err
+			}
+			if err := part.Assign(cpuSrc, memCores, memCores+cpuCores); err != nil {
+				return nil, err
+			}
+			return part, nil
+		},
+	})
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

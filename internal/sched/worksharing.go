@@ -91,19 +91,27 @@ func NewWorkSharing(cores int, gen RegionGen, seed int64) *WorkSharing {
 	return ws
 }
 
-// chunkJitter returns a uniform value in [0, 1) derived from the runtime
-// seed, the region's program step and the chunk index — splitmix64 over
-// the triple, so every chunk's perturbation is stable no matter which core
-// claims it first.
-func chunkJitter(seed int64, step, chunk int) float64 {
+// IndexJitter returns a uniform value in [0, 1) derived from a seed and
+// two indices — splitmix64 over the triple. Being a pure function (never
+// a sequential draw), every perturbation is stable no matter which core
+// or engine worker asks first; the work-sharing runtime uses it for
+// chunk jitter and the scenario DSL for its (domain-separated) phase
+// jitter, so there is exactly one implementation to keep deterministic.
+func IndexJitter(seed int64, a, b int) float64 {
 	x := uint64(seed) ^ 0x9e3779b97f4a7c15
-	x ^= uint64(step)*0xbf58476d1ce4e5b9 + uint64(chunk)*0x94d049bb133111eb
+	x ^= uint64(a)*0xbf58476d1ce4e5b9 + uint64(b)*0x94d049bb133111eb
 	// splitmix64 finalizer
 	x += 0x9e3779b97f4a7c15
 	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
 	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
 	x ^= x >> 31
 	return float64(x>>11) / (1 << 53)
+}
+
+// chunkJitter derives chunk jitter from the runtime seed, the region's
+// program step and the chunk index.
+func chunkJitter(seed int64, step, chunk int) float64 {
+	return IndexJitter(seed, step, chunk)
 }
 
 // advanceLocked loads the next region or marks the program done.

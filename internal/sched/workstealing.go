@@ -33,6 +33,16 @@ func SingleRound(tasks []Task) RoundGen {
 	}
 }
 
+// Per-model steal-path costs in instructions — the §5.2 calibration
+// charged on every successful steal. They live here, next to the
+// runtime that charges them, so the bench task builders and the
+// scenario DSL's task-DAG decomposition share one source of truth:
+// libomp's locked task queues vs HClib's lean work-first deques.
+const (
+	StealOverheadOpenMP = 700
+	StealOverheadHClib  = 300
+)
+
 // WorkStealing is the HClib-style runtime: each worker owns a deque, pushes
 // spawned children at the bottom, executes depth-first, and steals from the
 // top of random victims when empty. A finish scope joins each round: the

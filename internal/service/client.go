@@ -9,9 +9,11 @@ import (
 	"math/rand"
 	"net/http"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/report"
+	"repro/internal/scenario"
 )
 
 // Client talks to a cfserve instance. The zero HTTPClient uses
@@ -28,11 +30,21 @@ type Client struct {
 	// MaxAttempts caps submissions of one spec, counting the first
 	// (0 = 8; 1 disables retrying).
 	MaxAttempts int
-	// RetryBase is the first backoff delay; attempt k waits Backoff(k):
+	// RetryBase is the first backoff delay; attempt k waits
 	// RetryBase·2^k jittered over [d/2, d] (0 = 100ms).
 	RetryBase time.Duration
 	// RetryMax caps a single backoff sleep (0 = 5s).
 	RetryMax time.Duration
+	// RetrySeed seeds this client's private jitter source, making the
+	// backoff sequence reproducible in tests (0 = a one-time
+	// clock-derived seed, so distinct clients still decorrelate). The
+	// client never draws from the global math/rand source — under
+	// concurrent sweeps that lock was both a contention point and a
+	// reproducibility leak.
+	RetrySeed int64
+
+	jitMu  sync.Mutex
+	jitter *Jitter
 }
 
 func (c *Client) retryParams() (attempts int, base, max time.Duration) {
@@ -49,16 +61,45 @@ func (c *Client) retryParams() (attempts int, base, max time.Duration) {
 	return attempts, base, max
 }
 
+// retryJitter lazily builds the client's private jitter source.
+func (c *Client) retryJitter() *Jitter {
+	c.jitMu.Lock()
+	defer c.jitMu.Unlock()
+	if c.jitter == nil {
+		c.jitter = NewJitter(c.RetrySeed)
+	}
+	return c.jitter
+}
+
+// Jitter is a seeded, mutex-guarded uniform source for backoff delays.
+// Each client (and the sweep orchestrator) owns one, so backoff draws
+// are reproducible from the seed and never contend on the global
+// math/rand lock under concurrent sweeps.
+type Jitter struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewJitter builds a jitter source; seed 0 derives a one-time seed from
+// the clock so independent owners decorrelate by default.
+func NewJitter(seed int64) *Jitter {
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	return &Jitter{rng: rand.New(rand.NewSource(seed))}
+}
+
 // Backoff returns the jittered delay before retry attempt k (0-based):
 // base·2^k jittered uniformly over [d/2, d], never exceeding max. The
-// jitter decorrelates clients hammering one backend; the sweep
-// orchestrator's inter-attempt delays use the same helper.
-func Backoff(k int, base, max time.Duration) time.Duration {
+// jitter decorrelates clients hammering one backend.
+func (j *Jitter) Backoff(k int, base, max time.Duration) time.Duration {
 	d := base << uint(k)
 	if d > max || d <= 0 { // <= 0 guards shift overflow
 		d = max
 	}
-	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return d/2 + time.Duration(j.rng.Int63n(int64(d/2)+1))
 }
 
 func (c *Client) httpClient() *http.Client {
@@ -97,11 +138,12 @@ func (c *Client) RunRaw(ctx context.Context, spec RunSpec) ([]byte, Outcome, err
 		return nil, "", err
 	}
 	attempts, base, max := c.retryParams()
+	jit := c.retryJitter()
 	var lastErr error
 	for k := 0; k < attempts; k++ {
 		if k > 0 {
 			select {
-			case <-time.After(Backoff(k-1, base, max)):
+			case <-time.After(jit.Backoff(k-1, base, max)):
 			case <-ctx.Done():
 				return nil, "", fmt.Errorf("%w (after %d attempt(s): %v)", ctx.Err(), k, lastErr)
 			}
@@ -150,6 +192,18 @@ func (c *Client) Governors(ctx context.Context) ([]string, error) {
 		return nil, err
 	}
 	return out.Governors, nil
+}
+
+// Scenarios fetches the server's registered workloads — Table 1
+// benchmarks and synthetic scenarios alike — in registration order.
+func (c *Client) Scenarios(ctx context.Context) ([]scenario.Info, error) {
+	var out struct {
+		Scenarios []scenario.Info `json:"scenarios"`
+	}
+	if err := c.get(ctx, "/v1/scenarios", &out); err != nil {
+		return nil, err
+	}
+	return out.Scenarios, nil
 }
 
 // Stats fetches the server's operational snapshot.

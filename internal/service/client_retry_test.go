@@ -109,6 +109,58 @@ func TestClientRetryHonoursContext(t *testing.T) {
 	}
 }
 
+// TestBackoffReproducibleFromSeed pins the jitter fix: a client's
+// backoff sequence is a pure function of its RetrySeed — two jitter
+// sources with the same seed produce identical delays, different seeds
+// diverge, and no draw touches the shared global math/rand source.
+func TestBackoffReproducibleFromSeed(t *testing.T) {
+	base, max := 100*time.Millisecond, 5*time.Second
+	a, b := NewJitter(7), NewJitter(7)
+	var diverged bool
+	other := NewJitter(8)
+	for k := 0; k < 16; k++ {
+		da, db := a.Backoff(k, base, max), b.Backoff(k, base, max)
+		if da != db {
+			t.Fatalf("attempt %d: same seed gave %v vs %v", k, da, db)
+		}
+		if d := base << uint(k); d > 0 && d <= max {
+			if da < d/2 || da > d {
+				t.Errorf("attempt %d: delay %v outside [%v, %v]", k, da, d/2, d)
+			}
+		} else if da < max/2 || da > max {
+			t.Errorf("attempt %d: capped delay %v outside [%v, %v]", k, da, max/2, max)
+		}
+		if other.Backoff(k, base, max) != da {
+			diverged = true
+		}
+	}
+	if !diverged {
+		t.Error("distinct seeds never diverged over 16 draws")
+	}
+}
+
+// TestClientBackoffSeedDeterminesDelays drives the seed through the
+// client itself: two clients with equal RetrySeed retried against a
+// permanently saturated backend must spend indistinguishable total
+// backoff (measured in draw sequence, not wall time).
+func TestClientBackoffSeedDeterminesDelays(t *testing.T) {
+	seq := func(seed int64) []time.Duration {
+		c := &Client{RetrySeed: seed, RetryBase: time.Millisecond, RetryMax: 16 * time.Millisecond}
+		j := c.retryJitter()
+		out := make([]time.Duration, 8)
+		for k := range out {
+			out[k] = j.Backoff(k, c.RetryBase, c.RetryMax)
+		}
+		return out
+	}
+	a, b := seq(3), seq(3)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
 // TestClientDoesNotRetryNonBackpressureErrors: a 400 is the caller's
 // bug; retrying it would just repeat the bug.
 func TestClientDoesNotRetryNonBackpressureErrors(t *testing.T) {

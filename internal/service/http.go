@@ -8,6 +8,7 @@ import (
 	"strconv"
 
 	"repro/internal/governor"
+	"repro/internal/scenario"
 )
 
 // Cache-status and content-address response headers. The cache outcome
@@ -25,6 +26,7 @@ const (
 //	POST   /v1/runs?async=1  202 + job envelope; poll the Location URL
 //	GET    /v1/runs/{id}     async job status / result
 //	GET    /v1/governors     registered governor names
+//	GET    /v1/scenarios     registered workloads (benchmarks + scenarios)
 //	GET    /v1/stats         operational snapshot
 //	GET    /v1/cache         cache tiers: LRU entries/bytes, store path/size
 //	DELETE /v1/cache         purge both tiers (LRU + persistent store)
@@ -39,6 +41,9 @@ func NewHandler(s *Service) http.Handler {
 	})
 	mux.HandleFunc("GET /v1/governors", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"governors": governor.Names()})
+	})
+	mux.HandleFunc("GET /v1/scenarios", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"scenarios": scenario.List()})
 	})
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Stats())

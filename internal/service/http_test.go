@@ -225,6 +225,28 @@ func TestHTTPGovernorsAndStats(t *testing.T) {
 	}
 }
 
+// TestHTTPScenarios: GET /v1/scenarios serves the full workload registry
+// — Table 1 benchmarks and synthetic scenarios — through the client.
+func TestHTTPScenarios(t *testing.T) {
+	_, srv := newTestServer(t, Config{Workers: 1, Executor: (&stubExecutor{}).exec})
+	c := &Client{BaseURL: srv.URL}
+
+	infos, err := c.Scenarios(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := map[string]string{}
+	for _, info := range infos {
+		kinds[info.Name] = string(info.Kind)
+	}
+	if kinds["bursty"] != "synthetic" {
+		t.Errorf("bursty kind = %q, want synthetic (got %v)", kinds["bursty"], kinds)
+	}
+	if kinds["Heat-irt"] != "bench" {
+		t.Errorf("Heat-irt kind = %q, want bench", kinds["Heat-irt"])
+	}
+}
+
 // TestClientRunRoundTrip: the remote client decodes the canonical report
 // and surfaces the cache outcome.
 func TestClientRunRoundTrip(t *testing.T) {

@@ -23,6 +23,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/experiments"
 	"repro/internal/governor"
+	"repro/internal/scenario"
 )
 
 // ErrInvalidSpec tags validation failures so the HTTP layer can map them
@@ -43,6 +44,17 @@ type RunSpec struct {
 	Experiment string `json:"experiment,omitempty"`
 	// Benchmark is the Table 1 benchmark name; only "run" consults it.
 	Benchmark string `json:"benchmark,omitempty"`
+	// Scenario names a registered workload scenario (see
+	// internal/scenario); only "run" consults it, and exactly one of
+	// Benchmark, Scenario and ScenarioDef may be set. A Scenario naming a
+	// Table 1 benchmark normalizes into Benchmark, so both spellings
+	// share one cache key.
+	Scenario string `json:"scenario,omitempty"`
+	// ScenarioDef is an inline scenario definition — a JSON phase
+	// program evaluated without being registered anywhere. Its
+	// normalized form is part of the canonical serialization, so an
+	// inline scenario is exactly as content-addressable as a named one.
+	ScenarioDef *scenario.Definition `json:"scenario_def,omitempty"`
 	// Governor is the registered strategy; empty means the experiment's
 	// paper default.
 	Governor string `json:"governor,omitempty"`
@@ -87,7 +99,27 @@ func (s RunSpec) Normalized() RunSpec {
 		s.Experiment = "run"
 	}
 	if s.Experiment != "run" {
-		s.Benchmark = "" // only "run" consults it
+		// Only "run" consults the workload selectors.
+		s.Benchmark, s.Scenario, s.ScenarioDef = "", "", nil
+	}
+	// The workload selectors canonicalize against the scenario registry:
+	// a Scenario naming a Table 1 benchmark folds into Benchmark, and a
+	// Benchmark naming a registered synthetic scenario folds into
+	// Scenario, so either spelling of the same workload hashes equal
+	// (and `-bench bursty` just works).
+	if s.Scenario != "" {
+		if e, ok := scenario.Get(s.Scenario); ok && e.Kind == scenario.KindBench {
+			s.Benchmark, s.Scenario = s.Scenario, ""
+		}
+	}
+	if s.Benchmark != "" {
+		if _, isBench := bench.Get(s.Benchmark); !isBench && scenario.Exists(s.Benchmark) {
+			s.Scenario, s.Benchmark = s.Benchmark, ""
+		}
+	}
+	if s.ScenarioDef != nil {
+		norm := s.ScenarioDef.Normalized()
+		s.ScenarioDef = &norm
 	}
 	if !experimentUsesGovernor(s.Experiment) {
 		s.Governor = ""
@@ -127,11 +159,31 @@ func (s RunSpec) Validate() error {
 		return fmt.Errorf("%w: unknown experiment %q (known: %v)", ErrInvalidSpec, s.Experiment, experiments.Names)
 	}
 	if s.Experiment == "run" {
-		if s.Benchmark == "" {
-			return fmt.Errorf("%w: experiment \"run\" needs a benchmark (known: %v)", ErrInvalidSpec, bench.Names())
+		selectors := 0
+		for _, set := range []bool{s.Benchmark != "", s.Scenario != "", s.ScenarioDef != nil} {
+			if set {
+				selectors++
+			}
 		}
-		if _, ok := bench.Get(s.Benchmark); !ok {
-			return fmt.Errorf("%w: unknown benchmark %q (known: %v)", ErrInvalidSpec, s.Benchmark, bench.Names())
+		switch {
+		case selectors == 0:
+			return fmt.Errorf("%w: experiment \"run\" needs a workload: a benchmark (known: %v), a scenario (registered: %v) or an inline scenario_def",
+				ErrInvalidSpec, bench.Names(), scenario.NamesOf(scenario.KindSynthetic))
+		case selectors > 1:
+			return fmt.Errorf("%w: benchmark, scenario and scenario_def are mutually exclusive", ErrInvalidSpec)
+		}
+		if s.Benchmark != "" {
+			if _, ok := bench.Get(s.Benchmark); !ok {
+				return fmt.Errorf("%w: unknown benchmark %q (known: %v)", ErrInvalidSpec, s.Benchmark, bench.Names())
+			}
+		}
+		if s.Scenario != "" && !scenario.Exists(s.Scenario) {
+			return fmt.Errorf("%w: unknown scenario %q (registered: %v)", ErrInvalidSpec, s.Scenario, scenario.Names())
+		}
+		if s.ScenarioDef != nil {
+			if err := s.ScenarioDef.Validate(); err != nil {
+				return fmt.Errorf("%w: %v", ErrInvalidSpec, err)
+			}
 		}
 	}
 	if s.Governor != "" && !governor.Exists(s.Governor) {
@@ -164,7 +216,8 @@ func (s RunSpec) Canonical() []byte {
 	c := s.Normalized()
 	raw, err := json.Marshal(c)
 	if err != nil {
-		// RunSpec is a flat struct of scalars; Marshal cannot fail.
+		// RunSpec is a struct of scalars plus one plain nested struct
+		// (the scenario definition); Marshal cannot fail on either.
 		panic(fmt.Sprintf("service: canonical marshal: %v", err))
 	}
 	return raw
@@ -191,6 +244,8 @@ func (s RunSpec) Options() experiments.Options {
 	opt.SimWorkers = s.SimWorkers
 	opt.BatchQuanta = s.BatchQuanta
 	opt.Governor = s.Governor
+	opt.Scenario = s.Scenario
+	opt.ScenarioDef = s.ScenarioDef
 	return opt
 }
 
@@ -201,6 +256,8 @@ func SpecFromOptions(experiment, benchmark string, opt experiments.Options) RunS
 	return RunSpec{
 		Experiment:  experiment,
 		Benchmark:   benchmark,
+		Scenario:    opt.Scenario,
+		ScenarioDef: opt.ScenarioDef,
 		Governor:    opt.Governor,
 		Cores:       opt.Cores,
 		Scale:       opt.Scale,

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/experiments"
+	"repro/internal/scenario"
 )
 
 // TestHashStableAcrossFieldReordering is the wire-level canonicalisation
@@ -154,6 +155,80 @@ func TestValidateAcceptsAllExperiments(t *testing.T) {
 		if err := s.Validate(); err != nil {
 			t.Errorf("%s: %v", name, err)
 		}
+	}
+}
+
+// TestScenarioFieldsHashStable: scenario selectors go through the same
+// canonicalisation as everything else — defaults spelled out or omitted,
+// JSON fields in any order, same content address.
+func TestScenarioFieldsHashStable(t *testing.T) {
+	implicitDoc := `{"scenario_def":{"name":"p","phases":[{"instructions":1e9,"miss_per_instr":0.02,"ipc":1.2}]}}`
+	explicitDoc := `{"experiment":"run","scenario_def":{"name":"p","decomposition":"work-sharing","iterations":1,
+		"phases":[{"instructions":1e9,"miss_per_instr":0.02,"ipc":1.2,"exposure":1,"chunks_per_core":16,"repeat":1}]}}`
+	var implicit, explicit RunSpec
+	if err := json.Unmarshal([]byte(implicitDoc), &implicit); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(explicitDoc), &explicit); err != nil {
+		t.Fatal(err)
+	}
+	if implicit.Hash() != explicit.Hash() {
+		t.Errorf("scenario_def defaults must hash like spelled-out defaults:\n%s\n%s",
+			implicit.Canonical(), explicit.Canonical())
+	}
+	if err := implicit.Normalized().Validate(); err != nil {
+		t.Fatalf("inline scenario spec invalid: %v", err)
+	}
+}
+
+// TestScenarioNameCanonicalization: the workload selectors fold against
+// the registry — a Scenario naming a Table 1 benchmark and a Benchmark
+// naming a synthetic scenario both normalize to the canonical field, so
+// either spelling shares one cache entry.
+func TestScenarioNameCanonicalization(t *testing.T) {
+	asBench := RunSpec{Benchmark: "Heat-irt"}
+	asScenario := RunSpec{Scenario: "Heat-irt"}
+	if asBench.Hash() != asScenario.Hash() {
+		t.Error("scenario:Heat-irt and benchmark:Heat-irt are the same run")
+	}
+	synthAsBench := RunSpec{Benchmark: "bursty"}
+	synthAsScenario := RunSpec{Scenario: "bursty"}
+	if synthAsBench.Hash() != synthAsScenario.Hash() {
+		t.Error("benchmark:bursty and scenario:bursty are the same run")
+	}
+	norm := synthAsBench.Normalized()
+	if norm.Benchmark != "" || norm.Scenario != "bursty" {
+		t.Errorf("synthetic normalizes to scenario field, got %+v", norm)
+	}
+	if (RunSpec{Scenario: "bursty"}).Hash() == (RunSpec{Scenario: "memory-bound"}).Hash() {
+		t.Error("distinct scenarios must hash distinctly")
+	}
+}
+
+func TestScenarioValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		spec RunSpec
+		want string
+	}{
+		{"unknown scenario", RunSpec{Scenario: "no-such"}, "unknown scenario"},
+		{"benchmark and scenario", RunSpec{Benchmark: "UTS", Scenario: "bursty"}, "mutually exclusive"},
+		{"invalid inline def", RunSpec{ScenarioDef: &scenario.Definition{Name: "x"}}, "at least one phase"},
+	}
+	for _, c := range cases {
+		err := c.spec.Normalized().Validate()
+		if err == nil || !errors.Is(err, ErrInvalidSpec) || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want ErrInvalidSpec mentioning %q", c.name, err, c.want)
+		}
+	}
+	if err := (RunSpec{Scenario: "bursty"}).Normalized().Validate(); err != nil {
+		t.Errorf("registered scenario rejected: %v", err)
+	}
+	// Non-"run" experiments drop scenario selectors like they drop
+	// benchmarks, so strays don't split cache entries.
+	stray := RunSpec{Experiment: "table1", Scenario: "bursty"}
+	if stray.Hash() != (RunSpec{Experiment: "table1"}).Hash() {
+		t.Error("table1 ignores scenario; the hash must too")
 	}
 }
 

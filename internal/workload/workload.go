@@ -21,7 +21,14 @@ import "fmt"
 // after hardware prefetching: streaming stencil sweeps (SOR) expose little
 // latency even though every miss still occupies TOR and memory bandwidth,
 // while irregular access (AMG coarse levels, UTS node expansion) exposes
-// most of it. Exposure 0 means "unset" and defaults to 1 (fully exposed).
+// most of it.
+//
+// The zero value means "unset" and defaults to 1 (fully exposed), so a
+// struct literal that never mentions Exposure behaves like unprefetched
+// irregular access. A segment whose misses stall the core not at all —
+// perfectly prefetched streaming that still occupies TOR and bandwidth —
+// is therefore NOT expressible as Exposure: 0; use the explicit
+// ExposureNone sentinel for it.
 type Segment struct {
 	Instructions float64
 	MissPerInstr float64
@@ -30,19 +37,31 @@ type Segment struct {
 	Exposure     float64
 }
 
-// StallFraction returns the effective exposure with the zero-value default
-// applied.
+// ExposureNone is the explicit "zero exposed stall" sentinel: every miss
+// is fully hidden by prefetching (StallFraction 0) while still counting
+// toward TOR traffic and TIPI. It exists because the Exposure zero value
+// already means "unset → fully exposed", which made a truly stall-free
+// segment inexpressible.
+const ExposureNone = -1
+
+// StallFraction returns the effective exposure: ExposureNone is 0, the
+// unset zero value defaults to 1, anything else is taken literally.
 func (s Segment) StallFraction() float64 {
+	if s.Exposure == ExposureNone {
+		return 0
+	}
 	if s.Exposure <= 0 {
 		return 1
 	}
 	return s.Exposure
 }
 
-// Valid reports whether the segment is executable.
+// Valid reports whether the segment is executable. Exposure must be the
+// ExposureNone sentinel or lie in [0, 1].
 func (s Segment) Valid() bool {
 	return s.Instructions >= 0 && s.MissPerInstr >= 0 && s.IPC > 0 &&
-		s.RemoteFrac >= 0 && s.RemoteFrac <= 1 && s.Exposure >= 0 && s.Exposure <= 1
+		s.RemoteFrac >= 0 && s.RemoteFrac <= 1 &&
+		(s.Exposure == ExposureNone || (s.Exposure >= 0 && s.Exposure <= 1))
 }
 
 func (s Segment) String() string {

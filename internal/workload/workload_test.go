@@ -16,10 +16,14 @@ func TestSegmentValid(t *testing.T) {
 		{Instructions: 1, IPC: 2, MissPerInstr: -0.1},
 		{Instructions: 1, IPC: 2, RemoteFrac: 1.5},
 		{Instructions: 1, IPC: 2, Exposure: 2},
+		{Instructions: 1, IPC: 2, Exposure: -0.5},
 	} {
 		if bad.Valid() {
 			t.Errorf("invalid segment accepted: %v", bad)
 		}
+	}
+	if !(Segment{Instructions: 1, IPC: 2, Exposure: ExposureNone}).Valid() {
+		t.Error("ExposureNone sentinel rejected by Valid")
 	}
 }
 
@@ -29,6 +33,15 @@ func TestStallFractionDefault(t *testing.T) {
 	}
 	if got := (Segment{Exposure: 0.3}).StallFraction(); got != 0.3 {
 		t.Errorf("explicit exposure ignored: %g", got)
+	}
+}
+
+// TestStallFractionNoneSentinel pins the fix for the zero-value
+// ambiguity: a truly stall-free segment is expressed with ExposureNone,
+// not with Exposure 0 (which stays "unset → fully exposed").
+func TestStallFractionNoneSentinel(t *testing.T) {
+	if got := (Segment{Exposure: ExposureNone}).StallFraction(); got != 0 {
+		t.Errorf("ExposureNone must stall 0, got %g", got)
 	}
 }
 
