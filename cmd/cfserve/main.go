@@ -10,6 +10,13 @@
 // second, directory-sharing) instance serves those specs without
 // recomputing them.
 //
+// -memo adds a second cache tier below the result cache: phase-boundary
+// machine snapshots keyed by prefix chain hash. A spec that misses the
+// result cache but shares a schedule prefix with an earlier run resumes
+// from the longest memoized snapshot and simulates only the suffix,
+// producing byte-identical reports. -memo-dir persists snapshots across
+// restarts; -memo-max-bytes bounds the in-memory snapshot LRU.
+//
 //	POST   /v1/runs          run a spec, wait for the report
 //	POST   /v1/runs?async=1  enqueue, poll GET /v1/runs/{id}
 //	GET    /v1/governors     registered strategies
@@ -35,6 +42,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/memo"
 	"repro/internal/service"
 	"repro/internal/store"
 )
@@ -47,16 +55,19 @@ func main() {
 		cache    = flag.Int("cache", 0, "result cache entries (0 = 256)")
 		storeDir = flag.String("store", "", "persistent result store directory (empty = memory only); survives restarts and may be shared between instances")
 		storeMax = flag.Int64("store-max-bytes", 0, "prune the store oldest-first past this many payload bytes (0 = unbounded)")
+		useMemo  = flag.Bool("memo", false, "enable the prefix-snapshot memo tier: executions resume from the longest memoized prefix of their region schedule")
+		memoDir  = flag.String("memo-dir", "", "persistent snapshot directory below the memo LRU (empty = memory only); implies -memo")
+		memoMax  = flag.Int64("memo-max-bytes", 0, "memo LRU byte budget (0 = 64 MiB)")
 		grace    = flag.Duration("grace", 30*time.Second, "graceful shutdown deadline")
 	)
 	flag.Parse()
-	if err := run(*addr, *workers, *queue, *cache, *storeDir, *storeMax, *grace); err != nil {
+	if err := run(*addr, *workers, *queue, *cache, *storeDir, *storeMax, *useMemo, *memoDir, *memoMax, *grace); err != nil {
 		fmt.Fprintf(os.Stderr, "cfserve: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, workers, queue, cache int, storeDir string, storeMax int64, grace time.Duration) error {
+func run(addr string, workers, queue, cache int, storeDir string, storeMax int64, useMemo bool, memoDir string, memoMax int64, grace time.Duration) error {
 	// Engine knobs (sim_workers, batch_quanta) travel inside each spec —
 	// they are part of the content hash, so the server never rewrites
 	// them behind the cache key's back.
@@ -68,6 +79,18 @@ func run(addr string, workers, queue, cache int, storeDir string, storeMax int64
 		}
 		log.Printf("cfserve: store %s: %d entries, %d bytes", storeDir, st.Len(), st.Bytes())
 		cfg.Store = st
+	}
+	if useMemo || memoDir != "" {
+		var disk *store.Store
+		if memoDir != "" {
+			var err error
+			if disk, err = store.Open(memoDir, 0); err != nil {
+				return err
+			}
+			log.Printf("cfserve: memo dir %s: %d snapshot(s), %d bytes", memoDir, disk.Len(), disk.Bytes())
+		}
+		cfg.Memo = memo.New(memoMax, disk)
+		log.Printf("cfserve: prefix-snapshot memoization on")
 	}
 	svc := service.New(cfg)
 	defer svc.Close()

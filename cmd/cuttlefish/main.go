@@ -27,6 +27,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/governor"
+	"repro/internal/memo"
 	"repro/internal/orchestrator"
 	"repro/internal/report"
 	"repro/internal/scenario"
@@ -41,6 +42,9 @@ var (
 	scenarioFile = ""
 	sweepSpec    = ""
 	storeDir     = ""
+	memoFlag     = false
+	memoDir      = ""
+	memoMaxBytes = int64(0)
 	backends     stringList
 	listGov      bool
 	listScen     bool
@@ -79,6 +83,9 @@ func newFlagSet(opt *experiments.Options) *flag.FlagSet {
 	fs.StringVar(&sweepSpec, "spec", sweepSpec, "sweep spec file (JSON) for the \"sweep\" subcommand")
 	fs.Var(&backends, "backend", "cfserve URL the \"sweep\" subcommand dispatches to (repeatable; default: run in-process)")
 	fs.StringVar(&storeDir, "store", storeDir, "persistent result store directory for in-process sweeps")
+	fs.BoolVar(&memoFlag, "memo", memoFlag, "enable prefix-snapshot memoization for in-process runs: shared schedule prefixes simulate once and resume")
+	fs.StringVar(&memoDir, "memo-dir", memoDir, "persistent snapshot directory below the memo LRU (implies -memo; survives invocations)")
+	fs.Int64Var(&memoMaxBytes, "memo-max-bytes", memoMaxBytes, "memo LRU byte budget (0 = 64 MiB)")
 	fs.BoolVar(&listGov, "list-governors", false, "list registered governors and exit")
 	fs.BoolVar(&listScen, "list-scenarios", false, "list registered workloads (benchmarks and scenarios) and exit")
 	return fs
@@ -186,6 +193,14 @@ or more cfserve backends with least-loaded dispatch, retry and failover,
 then aggregates a cross-product comparison (best-per-cell + Pareto rows):
   cuttlefish sweep -spec sweep.json -backend http://a:8080 -backend http://b:8080
 
+-memo adds a second cache tier for in-process execution: phase-boundary
+machine snapshots keyed by schedule prefix, so a run whose schedule
+shares a prefix with an earlier one (a re-run, or a scenario with a
+tweaked tail) resumes from the last common boundary instead of
+re-simulating from boot. Results stay byte-identical; -memo-dir
+persists snapshots across invocations:
+  cuttlefish run -bench bursty -memo-dir /tmp/cfmemo
+
 flags (before or after the experiment):
 `, strings.Join(governor.Names(), ", "))
 	fs.SetOutput(os.Stderr)
@@ -238,11 +253,43 @@ func run(name string, opt experiments.Options, format string) error {
 	if remote != "" {
 		return runRemote(name, opt, format)
 	}
+	tier, err := buildMemoTier()
+	if err != nil {
+		return err
+	}
+	if tier != nil {
+		rs := &memo.RunStats{}
+		opt.Memo, opt.MemoStats = tier, rs
+		defer func() {
+			if v := rs.View(); v.Runs > 0 {
+				fmt.Fprintf(os.Stderr, "cuttlefish: memo: %s\n", service.FormatMemoHeader(v))
+			}
+		}()
+	}
 	rep, err := build(name, opt)
 	if err != nil {
 		return err
 	}
 	return rep.Write(os.Stdout, format)
+}
+
+// buildMemoTier constructs the prefix-snapshot tier the -memo flags ask
+// for; nil when memoization is off. With -memo-dir the tier persists
+// snapshots across invocations, so a tweaked re-run of a long scenario
+// resumes from the last shared phase boundary instead of re-simulating
+// its whole prefix.
+func buildMemoTier() (*memo.Tier, error) {
+	if !memoFlag && memoDir == "" {
+		return nil, nil
+	}
+	var disk *store.Store
+	if memoDir != "" {
+		var err error
+		if disk, err = store.Open(memoDir, 0); err != nil {
+			return nil, err
+		}
+	}
+	return memo.New(memoMaxBytes, disk), nil
 }
 
 // runSweep expands a sweep spec and dispatches it over the configured
@@ -277,6 +324,11 @@ func runSweep(opt experiments.Options, format string) error {
 			}
 			cfg.Store = st
 		}
+		tier, err := buildMemoTier()
+		if err != nil {
+			return err
+		}
+		cfg.Memo = tier
 		svc := service.New(cfg)
 		defer svc.Close()
 		pool = append(pool, &orchestrator.LocalBackend{Service: svc})
@@ -310,8 +362,12 @@ func runSweep(opt experiments.Options, format string) error {
 				fmt.Fprintf(os.Stderr, "sweep: attempt %d for %s failed on %s: %v\n", ev.Attempt, target, ev.Backend, ev.Err)
 				return
 			}
-			fmt.Fprintf(os.Stderr, "sweep: %d/%d %s seed=%d (%s via %s)\n",
+			line := fmt.Sprintf("sweep: %d/%d %s seed=%d (%s via %s)",
 				ev.Done, ev.Total, target, ev.Spec.Seed, ev.Outcome, ev.Backend)
+			if ev.Memo != nil && ev.Memo.PrefixHits > 0 {
+				line += fmt.Sprintf(" [memo: %d/%d quanta skipped]", ev.Memo.QuantaSaved, ev.Memo.QuantaTotal)
+			}
+			fmt.Fprintln(os.Stderr, line)
 		},
 	})
 	if err != nil {

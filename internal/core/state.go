@@ -1,0 +1,128 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/freq"
+	"repro/internal/tipi"
+)
+
+// ProfilerState is the profiler's counter baseline in serializable form.
+type ProfilerState struct {
+	LastInstr  uint64 `json:"last_instr"`
+	LastTor    uint64 `json:"last_tor"`
+	LastEnergy uint32 `json:"last_energy"`
+	Primed     bool   `json:"primed"`
+}
+
+// NodeState is one slab node of the daemon's TIPI list in serializable
+// form.
+type NodeState struct {
+	Slab       int                `json:"slab"`
+	CF         tipi.ExplorerState `json:"cf"`
+	UF         tipi.ExplorerState `json:"uf"`
+	UFRangeSet bool               `json:"uf_range_set"`
+	Hits       int                `json:"hits"`
+}
+
+// DaemonState is the daemon's complete mutable state — everything a Tick
+// can observe besides the machine's registers. nprev is recorded as an
+// index into the slab-ordered node list (-1 = none), which survives
+// serialization where a pointer cannot.
+type DaemonState struct {
+	NPrev     int           `json:"nprev"`
+	CFPrev    int           `json:"cf_prev"`
+	UFPrev    int           `json:"uf_prev"`
+	WarmupEnd float64       `json:"warmup_end"`
+	Warmed    bool          `json:"warmed"`
+	Stopped   bool          `json:"stopped"`
+	Samples   int           `json:"samples"`
+	Exploring int           `json:"exploring"`
+	Profiler  ProfilerState `json:"profiler"`
+	Nodes     []NodeState   `json:"nodes"`
+}
+
+// StateSnapshot exports the daemon's mutable state. It fails if the
+// daemon has latched an MSR error: an errored daemon stops adapting, and
+// resuming that silence from a snapshot would hide the error.
+func (d *Daemon) StateSnapshot() (*DaemonState, error) {
+	if d.lastErr != nil {
+		return nil, fmt.Errorf("core: daemon in error state: %w", d.lastErr)
+	}
+	nodes := d.list.Nodes()
+	st := &DaemonState{
+		NPrev:     -1,
+		CFPrev:    int(d.cfPrev),
+		UFPrev:    int(d.ufPrev),
+		WarmupEnd: d.warmupEnd,
+		Warmed:    d.warmed,
+		Stopped:   d.stopped,
+		Samples:   d.samples,
+		Exploring: d.exploring,
+		Profiler: ProfilerState{
+			LastInstr:  d.prof.lastInstr,
+			LastTor:    d.prof.lastTor,
+			LastEnergy: d.prof.lastEnergy,
+			Primed:     d.prof.primed,
+		},
+		Nodes: make([]NodeState, len(nodes)),
+	}
+	for i, n := range nodes {
+		if n == d.nprev {
+			st.NPrev = i
+		}
+		st.Nodes[i] = NodeState{
+			Slab:       int(n.Slab),
+			CF:         n.CF.State(),
+			UF:         n.UF.State(),
+			UFRangeSet: n.UFRangeSet,
+			Hits:       n.Hits,
+		}
+	}
+	return st, nil
+}
+
+// StateRestore rebuilds the daemon's mutable state from a snapshot taken
+// by StateSnapshot on a daemon with the same configuration and grids. The
+// slab list is reconstructed node by node; the frequency registers
+// themselves are machine state and restored separately.
+func (d *Daemon) StateRestore(st *DaemonState) error {
+	list := tipi.NewList(d.cfGrid, d.ufGrid)
+	nodes := make([]*tipi.Node, len(st.Nodes))
+	for i, ns := range st.Nodes {
+		n := list.Insert(tipi.Slab(ns.Slab))
+		if err := n.CF.SetState(ns.CF); err != nil {
+			return fmt.Errorf("core: restoring slab %d CF: %w", ns.Slab, err)
+		}
+		if err := n.UF.SetState(ns.UF); err != nil {
+			return fmt.Errorf("core: restoring slab %d UF: %w", ns.Slab, err)
+		}
+		n.UFRangeSet = ns.UFRangeSet
+		n.Hits = ns.Hits
+		nodes[i] = n
+	}
+	if list.Len() != len(st.Nodes) {
+		return fmt.Errorf("core: state has duplicate slabs (%d nodes collapsed to %d)", len(st.Nodes), list.Len())
+	}
+	if st.NPrev < -1 || st.NPrev >= len(nodes) {
+		return fmt.Errorf("core: state nprev index %d out of range", st.NPrev)
+	}
+	d.list = list
+	if st.NPrev >= 0 {
+		d.nprev = nodes[st.NPrev]
+	} else {
+		d.nprev = nil
+	}
+	d.cfPrev = freq.Level(st.CFPrev)
+	d.ufPrev = freq.Level(st.UFPrev)
+	d.warmupEnd = st.WarmupEnd
+	d.warmed = st.Warmed
+	d.stopped = st.Stopped
+	d.samples = st.Samples
+	d.exploring = st.Exploring
+	d.prof.lastInstr = st.Profiler.LastInstr
+	d.prof.lastTor = st.Profiler.LastTor
+	d.prof.lastEnergy = st.Profiler.LastEnergy
+	d.prof.primed = st.Profiler.Primed
+	return nil
+}

@@ -133,6 +133,7 @@ func resolveWorkload(benchName string, opt Options) (scenario.Entry, error) {
 			Description:    def.Description,
 			NominalSeconds: def.EstimateSeconds(cores),
 			Build:          def.Build,
+			Def:            &def,
 		}, nil
 	}
 	name := benchName

@@ -22,6 +22,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/governor"
 	"repro/internal/machine"
+	"repro/internal/memo"
 	"repro/internal/runner"
 	"repro/internal/scenario"
 	"repro/internal/stats"
@@ -74,6 +75,16 @@ type Options struct {
 	// Baseline is the reference environment of the comparisons; empty
 	// means "default".
 	Baseline string
+	// Memo is the prefix-snapshot tier (internal/memo): when non-nil,
+	// work-sharing scenario runs look up the longest memoized prefix of
+	// their region schedule, restore it, and simulate only the suffix.
+	// It is runtime wiring, not part of any run's identity — results are
+	// byte-identical with or without it.
+	Memo *memo.Tier
+	// MemoStats, when non-nil, accumulates this request's memo activity
+	// (runs, prefix hits, quanta saved); the service layer surfaces it as
+	// the X-Memo response detail.
+	MemoStats *memo.RunStats
 }
 
 // pool returns the shared bounded-concurrency pool every harness fans its
@@ -165,6 +176,11 @@ func RunEntry(e scenario.Entry, gov string, opt Options, seed int64) (RunResult,
 	g, err := governor.New(gov, opt.tuning())
 	if err != nil {
 		return RunResult{}, err
+	}
+	if opt.Memo != nil && e.Def != nil {
+		if res, handled, err := memoRun(e, g, opt, seed); handled {
+			return res, err
+		}
 	}
 	return runSource(e.Name, e.NominalSeconds, func(cores int) (workload.Source, error) {
 		return e.Build(scenario.Params{Cores: cores, Scale: opt.Scale, Seed: seed, Model: string(opt.Model)})

@@ -1,0 +1,253 @@
+package experiments
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/governor"
+	"repro/internal/memo"
+	"repro/internal/scenario"
+)
+
+// memoTestOptions shrink runs enough that resuming every governor stays
+// CI-cheap while still crossing several phase boundaries.
+func memoTestOptions() Options {
+	o := DefaultOptions()
+	o.Scale = 0.02
+	o.Reps = 1
+	return o
+}
+
+func burstyEntry(t *testing.T) scenario.Entry {
+	t.Helper()
+	e, ok := scenario.Get("bursty")
+	if !ok {
+		t.Fatal("scenario bursty is not registered")
+	}
+	if e.Def == nil {
+		t.Fatal("scenario bursty has no definition; the memo path needs one")
+	}
+	return e
+}
+
+// requireBitEqual asserts two runs are IEEE-754 bit-identical in every
+// scalar output — the memo tier's whole soundness contract.
+func requireBitEqual(t *testing.T, label string, a, b RunResult) {
+	t.Helper()
+	eq := func(x, y float64) bool { return math.Float64bits(x) == math.Float64bits(y) }
+	if a.Governor != b.Governor || !eq(a.Seconds, b.Seconds) || !eq(a.Joules, b.Joules) ||
+		!eq(a.EDP, b.EDP) || !eq(a.AvgUncoreGHz, b.AvgUncoreGHz) {
+		t.Errorf("%s: results diverge:\n  a = %+v\n  b = %+v", label, a, b)
+	}
+}
+
+// memoKeysAndPoints recomputes the run's prefix-key chain and snapshot
+// boundaries exactly as memoRun does, so tests can seed a tier with a
+// chosen subset of snapshots.
+func memoKeysAndPoints(t *testing.T, e scenario.Entry, gov string, opt Options, seed int64) (keys []string, points []int) {
+	t.Helper()
+	cfg := opt.machineConfig()
+	regions, phases, err := e.Def.CompiledRegions(scenario.Params{
+		Cores: cfg.Cores, Scale: opt.Scale, Seed: seed, Model: string(opt.Model),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxSim := e.NominalSeconds*opt.Scale*6 + opt.WarmupSec + 30
+	keys, err = prefixKeys(cfg, gov, opt.tuning(), seed, maxSim, regions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range snapshotPoints(phases) {
+		points = append(points, k)
+	}
+	sort.Ints(points)
+	return keys, points
+}
+
+// TestMemoResumeBitIdenticalAllGovernors runs one scenario under every
+// registered governor three ways — without memoization, cold with an
+// empty tier, and warm against the cold run's snapshots — and requires
+// all three bit-identical. The warm run resumes at the program-end
+// snapshot, skipping simulation entirely.
+func TestMemoResumeBitIdenticalAllGovernors(t *testing.T) {
+	e := burstyEntry(t)
+	for _, gov := range governor.Names() {
+		gov := gov
+		t.Run(gov, func(t *testing.T) {
+			t.Parallel()
+			opt := memoTestOptions()
+			plain, err := RunEntry(e, gov, opt, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opt.Memo = memo.New(0, nil)
+			rs := &memo.RunStats{}
+			opt.MemoStats = rs
+			cold, err := RunEntry(e, gov, opt, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			warm, err := RunEntry(e, gov, opt, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireBitEqual(t, "cold vs plain", cold, plain)
+			requireBitEqual(t, "warm vs plain", warm, plain)
+			v := rs.View()
+			if v.Runs != 2 || v.PrefixHits != 1 {
+				t.Errorf("stats = %+v, want 2 runs with 1 prefix hit", v)
+			}
+			if v.QuantaSaved != v.QuantaTotal/2 {
+				t.Errorf("warm run saved %d of %d quanta, want a full skip", v.QuantaSaved, v.QuantaTotal)
+			}
+			if v.SnapshotsStored == 0 {
+				t.Error("cold run stored no snapshots")
+			}
+		})
+	}
+}
+
+// TestMemoMidPrefixResume forces a resume from an intermediate boundary:
+// the warm tier holds only one mid-program snapshot, so the run restores
+// it and actually simulates the suffix — the strongest equivalence check,
+// covering machine restore, governor state and the work-sharing
+// checkpoint together.
+func TestMemoMidPrefixResume(t *testing.T) {
+	e := burstyEntry(t)
+	const gov = "cuttlefish"
+	opt := memoTestOptions()
+	plain, err := RunEntry(e, gov, opt, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cold := memo.New(0, nil)
+	opt.Memo = cold
+	if _, err := RunEntry(e, gov, opt, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	keys, points := memoKeysAndPoints(t, e, gov, opt, 1)
+	mid := points[len(points)/2]
+	if mid == 0 || mid == len(keys)-1 {
+		t.Fatalf("no intermediate snapshot point among %v", points)
+	}
+	body, ok := cold.Get(keys[mid])
+	if !ok {
+		t.Fatalf("cold run stored no snapshot at boundary %d", mid)
+	}
+	warmTier := memo.New(0, nil)
+	warmTier.Put(keys[mid], body)
+
+	opt.Memo = warmTier
+	rs := &memo.RunStats{}
+	opt.MemoStats = rs
+	warm, err := RunEntry(e, gov, opt, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireBitEqual(t, "mid-prefix resume vs plain", warm, plain)
+	v := rs.View()
+	if v.PrefixHits != 1 {
+		t.Fatalf("stats = %+v, want a prefix hit", v)
+	}
+	if v.QuantaSaved <= 0 || v.QuantaSaved >= v.QuantaTotal {
+		t.Errorf("saved %d of %d quanta, want a strict mid-program resume", v.QuantaSaved, v.QuantaTotal)
+	}
+}
+
+// TestMemoSnapshotsShareAcrossSimWorkers resumes a snapshot taken by a
+// serial engine on a sharded one: worker count is excluded from the key
+// chain because the engine is bit-identical across it, and this pins that
+// the shared snapshot still reproduces the plain sharded run exactly.
+func TestMemoSnapshotsShareAcrossSimWorkers(t *testing.T) {
+	e := burstyEntry(t)
+	const gov = "cuttlefish"
+	serial := memoTestOptions()
+	serial.SimWorkers = 1
+	sharded := memoTestOptions()
+	sharded.SimWorkers = 4
+
+	plain, err := RunEntry(e, gov, sharded, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tier := memo.New(0, nil)
+	serial.Memo = tier
+	if _, err := RunEntry(e, gov, serial, 1); err != nil {
+		t.Fatal(err)
+	}
+	keys, points := memoKeysAndPoints(t, e, gov, serial, 1)
+	mid := points[len(points)/2]
+	body, ok := tier.Get(keys[mid])
+	if !ok {
+		t.Fatalf("serial run stored no snapshot at boundary %d", mid)
+	}
+	warmTier := memo.New(0, nil)
+	warmTier.Put(keys[mid], body)
+
+	sharded.Memo = warmTier
+	rs := &memo.RunStats{}
+	sharded.MemoStats = rs
+	warm, err := RunEntry(e, gov, sharded, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireBitEqual(t, "serial snapshot resumed on sharded engine", warm, plain)
+	if v := rs.View(); v.PrefixHits != 1 {
+		t.Errorf("stats = %+v, want a prefix hit", v)
+	}
+}
+
+// TestMemoCorruptSnapshotFallsBack plants defective snapshots under valid
+// keys and requires every one to be treated as a miss: the run re-executes
+// from boot and stays bit-identical to the memo-free result.
+func TestMemoCorruptSnapshotFallsBack(t *testing.T) {
+	e := burstyEntry(t)
+	const gov = "cuttlefish"
+	opt := memoTestOptions()
+	plain, err := RunEntry(e, gov, opt, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := memo.New(0, nil)
+	opt.Memo = cold
+	if _, err := RunEntry(e, gov, opt, 1); err != nil {
+		t.Fatal(err)
+	}
+	keys, _ := memoKeysAndPoints(t, e, gov, opt, 1)
+	final := keys[len(keys)-1]
+	good, ok := cold.Get(final)
+	if !ok {
+		t.Fatal("cold run stored no program-end snapshot")
+	}
+
+	flipped := append([]byte(nil), good...)
+	flipped[len(flipped)/2] ^= 0xff // inside the checksummed machine snapshot
+	cases := map[string][]byte{
+		"bad magic":        []byte("not a snapshot container"),
+		"truncated":        good[:len(good)-7],
+		"corrupt interior": flipped,
+	}
+	for name, body := range cases {
+		t.Run(name, func(t *testing.T) {
+			tier := memo.New(0, nil)
+			tier.Put(final, body)
+			o := memoTestOptions()
+			o.Memo = tier
+			rs := &memo.RunStats{}
+			o.MemoStats = rs
+			res, err := RunEntry(e, gov, o, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireBitEqual(t, "fallback re-execute vs plain", res, plain)
+			if v := rs.View(); v.PrefixHits != 0 {
+				t.Errorf("stats = %+v, want no prefix hit for a defective snapshot", v)
+			}
+		})
+	}
+}

@@ -1,6 +1,7 @@
 package governor
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 
@@ -100,7 +101,7 @@ func (g *cuttlefishGovernor) Attach(m *machine.Machine) (*Attachment, error) {
 	}
 	comp := &machine.Component{Period: g.cfg.TinvSec, Core: g.cfg.PinnedCore, Tick: d.Tick}
 	m.Schedule(comp, m.Now()+g.cfg.TinvSec)
-	return newAttachment(d, func() error {
+	att := newAttachment(d, func() error {
 		d.Stop()
 		m.Unschedule(comp)
 		derr := d.Err()
@@ -108,7 +109,23 @@ func (g *cuttlefishGovernor) Attach(m *machine.Machine) (*Attachment, error) {
 			derr = fmt.Errorf("governor: %s daemon failed during run: %w", g.name, derr)
 		}
 		return errors.Join(derr, dev.Restore())
-	}), nil
+	})
+	return att.withState(
+		func() ([]byte, error) {
+			st, err := d.StateSnapshot()
+			if err != nil {
+				return nil, err
+			}
+			return json.Marshal(st)
+		},
+		func(blob []byte) error {
+			var st core.DaemonState
+			if err := json.Unmarshal(blob, &st); err != nil {
+				return fmt.Errorf("governor: %s state blob: %w", g.name, err)
+			}
+			return d.StateRestore(&st)
+		},
+	), nil
 }
 
 // --- static: both domains pinned at fixed ratios ---
@@ -283,12 +300,41 @@ func (g ondemandGovernor) Attach(m *machine.Machine) (*Attachment, error) {
 		},
 	}
 	m.Schedule(comp, m.Now()+g.periodSec)
-	return newAttachment(nil, func() error {
+	att := newAttachment(nil, func() error {
 		m.Unschedule(comp)
 		m.SetFirmware(nil)
 		if tickErr != nil {
 			tickErr = fmt.Errorf("governor: ondemand sampler: %w", tickErr)
 		}
 		return errors.Join(tickErr, dev.Restore())
-	}), nil
+	})
+	return att.withState(
+		func() ([]byte, error) {
+			if tickErr != nil {
+				return nil, fmt.Errorf("governor: ondemand sampler in error state: %w", tickErr)
+			}
+			return json.Marshal(ondemandState{Prev: prev, Ratios: ratios})
+		},
+		func(blob []byte) error {
+			var st ondemandState
+			if err := json.Unmarshal(blob, &st); err != nil {
+				return fmt.Errorf("governor: ondemand state blob: %w", err)
+			}
+			if len(st.Prev) != cfg.Cores || len(st.Ratios) != cfg.Cores {
+				return fmt.Errorf("governor: ondemand state has %d/%d cores, machine has %d",
+					len(st.Prev), len(st.Ratios), cfg.Cores)
+			}
+			copy(prev, st.Prev)
+			copy(ratios, st.Ratios)
+			return nil
+		},
+	), nil
+}
+
+// ondemandState is the sampler's private state between ticks: the
+// previous per-core counter readings and the ratio last actuated per
+// core (the write-skip cache).
+type ondemandState struct {
+	Prev   []uint64     `json:"prev"`
+	Ratios []freq.Ratio `json:"ratios"`
 }

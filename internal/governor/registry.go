@@ -38,16 +38,53 @@ type Governor interface {
 // path detaches through it, so cleanup is uniform across the public
 // Session API, the experiment harnesses and the cluster.
 type Attachment struct {
-	mu     sync.Mutex
-	detach func() error
-	daemon *core.Daemon
-	done   bool
+	mu           sync.Mutex
+	detach       func() error
+	daemon       *core.Daemon
+	done         bool
+	stateSnap    func() ([]byte, error)
+	stateRestore func([]byte) error
 }
 
 // newAttachment wraps a strategy's teardown. detach runs exactly once;
 // later Detach calls return nil, mirroring Session.Stop's idempotence.
 func newAttachment(daemon *core.Daemon, detach func() error) *Attachment {
 	return &Attachment{detach: detach, daemon: daemon}
+}
+
+// withState installs the strategy's state snapshot/restore hooks.
+// Strategies whose only mutable state is MSR registers (default, static,
+// ddcm, powersave) never call it — their state rides in the machine
+// snapshot — while daemon-backed and sampler-backed strategies export
+// their private state through these hooks so a prefix-resumed run
+// continues from exactly the adaptive state the snapshot captured.
+func (a *Attachment) withState(snap func() ([]byte, error), restore func([]byte) error) *Attachment {
+	a.stateSnap = snap
+	a.stateRestore = restore
+	return a
+}
+
+// StateSnapshot exports the strategy's private mutable state as an opaque
+// blob (nil for stateless strategies). Together with a machine.Snapshot
+// taken at the same boundary it fully determines the rest of the run.
+func (a *Attachment) StateSnapshot() ([]byte, error) {
+	if a.stateSnap == nil {
+		return nil, nil
+	}
+	return a.stateSnap()
+}
+
+// StateRestore re-imports a blob produced by StateSnapshot on an
+// attachment of the same strategy and tuning. A non-empty blob handed to
+// a stateless strategy is a strategy mismatch and errors.
+func (a *Attachment) StateRestore(blob []byte) error {
+	if a.stateRestore == nil {
+		if len(blob) > 0 {
+			return errors.New("governor: state blob for a stateless strategy")
+		}
+		return nil
+	}
+	return a.stateRestore(blob)
 }
 
 // Daemon returns the Cuttlefish daemon driving this attachment, or nil for

@@ -33,11 +33,13 @@ type engine struct {
 	rapl *power.Rapl
 
 	// Batch inputs, written by the snapshot and read by all participants.
-	src      workload.Source
-	firmware UncoreFirmware
-	dt       float64
-	snaps    []coreSnap
-	runs     []coreRun
+	src       workload.Source
+	firmware  UncoreFirmware
+	boundary  BoundarySource // src when it counts boundaries, else nil
+	boundaryN int            // boundary count when the batch started
+	dt        float64
+	snaps     []coreSnap
+	runs      []coreRun
 
 	// Quantum-evolving globals. Only the barrier reducer writes these; the
 	// barrier's release edge publishes them to the other participants.
@@ -218,8 +220,17 @@ func (e *engine) reduce() {
 	}
 	// Source drained and no core holds an in-flight segment: the machine is
 	// finished, stop the batch early regardless of its quantum budget.
-	if !anySeg && e.src != nil && e.src.Done() {
-		e.batchOver = true
+	if !anySeg {
+		if e.src != nil && e.src.Done() {
+			e.batchOver = true
+		}
+		// A boundary source crossed a region boundary this quantum (the
+		// barrier's release latency guarantees no segment of the next
+		// region is in flight yet): end the batch here so the commit
+		// lands exactly on the boundary. Always on — see BoundarySource.
+		if e.boundary != nil && e.boundary.BoundaryCount() != e.boundaryN {
+			e.batchOver = true
+		}
 	}
 }
 

@@ -1,6 +1,9 @@
 package machine
 
-import "container/heap"
+import (
+	"container/heap"
+	"sort"
+)
 
 // eventQueue orders scheduled components by their next deadline in a
 // min-heap, replacing the former linear scan over every component each
@@ -66,6 +69,35 @@ func (q *eventQueue) peek() (next float64, ok bool) {
 		return 0, false
 	}
 	return q.items[0].next, true
+}
+
+// componentsBySeq returns every scheduled component in scheduling (seq)
+// order — the canonical order machine snapshots use, so a restored
+// machine can match deadlines back to the same components.
+func (q *eventQueue) componentsBySeq() []*Component {
+	out := append([]*Component(nil), q.items...)
+	sort.Slice(out, func(i, j int) bool { return out[i].seq < out[j].seq })
+	return out
+}
+
+// snapshotBySeq exports the scheduled components' identities and
+// deadlines in seq order.
+func (q *eventQueue) snapshotBySeq() []ComponentSnapshot {
+	comps := q.componentsBySeq()
+	out := make([]ComponentSnapshot, len(comps))
+	for i, c := range comps {
+		out[i] = ComponentSnapshot{Period: c.Period, Core: c.Core, Next: c.next}
+	}
+	return out
+}
+
+// reinit re-establishes the heap invariant after deadlines were rewritten
+// in place (snapshot restore).
+func (q *eventQueue) reinit() {
+	heap.Init(q)
+	for i, c := range q.items {
+		c.idx = i
+	}
 }
 
 // popDue collects every component due at now into buf (advancing each

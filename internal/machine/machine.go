@@ -88,6 +88,7 @@ type Machine struct {
 	demandEWMA  float64 // misses/second arriving at the uncore
 	events      eventQueue
 	src         workload.Source
+	boundary    BoundarySource // src when it counts boundaries, else nil
 
 	totalInstr    float64
 	totalMissL    float64
@@ -159,11 +160,14 @@ func MustNew(cfg Config) *Machine {
 // dropped without Close are cleaned up when garbage-collected.
 func (m *Machine) Close() { m.engine.close() }
 
-// SetSource attaches the workload. It must be called before Run.
+// SetSource attaches the workload. It must be called before Run. Sources
+// implementing BoundarySource additionally get boundary batching: every
+// batch ends at a region boundary, making those points snapshotable.
 func (m *Machine) SetSource(s workload.Source) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.src = s
+	m.boundary, _ = s.(BoundarySource)
 }
 
 func (m *Machine) installFrequencyHandlers() {
@@ -351,11 +355,40 @@ func (m *Machine) StealCoreTime(i int, sec float64) {
 // Run executes quanta in batches: the event queue bounds each batch at the
 // next component deadline, so the hot loop dispatches once per deadline
 // window instead of once per quantum (Config.BatchQuanta caps the window).
-func (m *Machine) Run(maxSim float64) float64 {
+func (m *Machine) Run(maxSim float64) float64 { return m.run(maxSim, nil) }
+
+// RunBoundaries is Run with a region-boundary callback for sources that
+// implement BoundarySource: every time the boundary count advances, fn is
+// invoked (between batches, with no machine lock held and any due
+// components already fired) with the new count — the exact state Snapshot
+// can capture. Returning false stops further callbacks; the simulation
+// itself continues. The callback never fires for the count observed at
+// entry, so a resumed run does not re-snapshot its own restore point.
+func (m *Machine) RunBoundaries(maxSim float64, fn func(regions int) bool) float64 {
+	return m.run(maxSim, fn)
+}
+
+func (m *Machine) run(maxSim float64, fn func(int) bool) float64 {
 	start := m.Now()
 	deadline := start + maxSim
 	dt := m.cfg.QuantumSec
+	lastRegions := 0
+	if fn != nil {
+		if n, ok := m.boundaryCount(); ok {
+			lastRegions = n
+		} else {
+			fn = nil
+		}
+	}
 	for {
+		if fn != nil {
+			if n, _ := m.boundaryCount(); n != lastRegions {
+				lastRegions = n
+				if !fn(n) {
+					fn = nil
+				}
+			}
+		}
 		if m.Finished() {
 			break
 		}
@@ -389,6 +422,18 @@ func quantaUntil(now, target, dt float64) int {
 		return math.MaxInt32
 	}
 	return int(k)
+}
+
+// boundaryCount reads the attached BoundarySource's completed-region
+// count; ok is false when the source counts no boundaries.
+func (m *Machine) boundaryCount() (int, bool) {
+	m.mu.Lock()
+	b := m.boundary
+	m.mu.Unlock()
+	if b == nil {
+		return 0, false
+	}
+	return b.BoundaryCount(), true
 }
 
 func (m *Machine) nextEvent() (float64, bool) {
@@ -452,6 +497,7 @@ func (m *Machine) runBatch(quanta int) {
 	}
 	e.src = m.src
 	e.firmware = m.firmware
+	e.boundary = m.boundary
 	e.dt = m.cfg.QuantumSec
 	e.now = m.now
 	e.demandEWMA = m.demandEWMA
@@ -463,6 +509,9 @@ func (m *Machine) runBatch(quanta int) {
 	e.batchOver = false
 	e.totInstr, e.totMissL, e.totMissR, e.uncoreGHzSecs = 0, 0, 0, 0
 	m.mu.Unlock()
+	if e.boundary != nil {
+		e.boundaryN = e.boundary.BoundaryCount()
+	}
 
 	e.run()
 
@@ -472,6 +521,7 @@ func (m *Machine) runBatch(quanta int) {
 	// releases the worker pool.
 	e.src = nil
 	e.firmware = nil
+	e.boundary = nil
 
 	m.mu.Lock()
 	for i := range m.cores {

@@ -1,0 +1,261 @@
+// Package memo is the simulator's second cache tier: phase-boundary
+// machine snapshots keyed by a prefix-chain hash, so a run whose spec
+// shares a workload prefix with an earlier run can Restore() the last
+// common boundary and simulate only the divergent suffix.
+//
+// The result cache (internal/service + internal/store) only pays off on
+// byte-identical specs; this tier pays off on *structurally related*
+// ones — the same scenario re-run with a changed final phase, extended
+// iterations, or simply re-executed without the result cache's entry
+// surviving. Soundness rests on the same determinism contract: a
+// snapshot key commits to everything the simulation's future depends on
+// (machine configuration, governor + tuning, seed, and the canonical
+// bytes of every region executed so far), so restoring it and running
+// the suffix is bit-identical to running from scratch.
+//
+// The tier has its own size budget, separate from the result store's, so
+// result pruning can never evict hot snapshots and vice versa. The
+// optional disk tier reuses internal/store's checksummed object format:
+// a corrupted or truncated snapshot file verifies false, reads as a
+// miss, and is deleted — the run falls back to simulating from t=0.
+package memo
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/store"
+)
+
+// DefaultMaxBytes bounds the in-memory snapshot LRU when no budget is
+// given. Snapshots of the default 20-core machine run ~4 KiB, so the
+// default holds on the order of 10k snapshots.
+const DefaultMaxBytes = 64 << 20
+
+// Tier is the snapshot cache: an in-memory byte-budget LRU over an
+// optional persistent store. Safe for concurrent use.
+type Tier struct {
+	mu       sync.Mutex
+	maxBytes int64
+	entries  map[string]*list.Element
+	lru      *list.List // front = most recently used
+	bytes    int64
+	disk     *store.Store
+
+	lookups     uint64
+	hits        uint64
+	prefixHits  uint64
+	quantaSaved uint64
+	stored      uint64
+	evicted     uint64
+}
+
+type entry struct {
+	key  string
+	body []byte
+}
+
+// New creates a tier with the given in-memory byte budget (0 =
+// DefaultMaxBytes) over an optional disk store (nil = memory only). The
+// disk store must be dedicated to snapshots — Purge clears it.
+func New(maxBytes int64, disk *store.Store) *Tier {
+	if maxBytes <= 0 {
+		maxBytes = DefaultMaxBytes
+	}
+	return &Tier{
+		maxBytes: maxBytes,
+		entries:  make(map[string]*list.Element),
+		lru:      list.New(),
+		disk:     disk,
+	}
+}
+
+// Get returns the snapshot stored under key, consulting memory first and
+// the disk tier second (promoting disk hits into memory). Corrupt disk
+// objects read as misses.
+func (t *Tier) Get(key string) ([]byte, bool) {
+	t.mu.Lock()
+	t.lookups++
+	if el, ok := t.entries[key]; ok {
+		t.lru.MoveToFront(el)
+		t.hits++
+		body := el.Value.(*entry).body
+		t.mu.Unlock()
+		return body, true
+	}
+	disk := t.disk
+	t.mu.Unlock()
+	if disk == nil {
+		return nil, false
+	}
+	body, ok := disk.Get(key)
+	if !ok {
+		return nil, false
+	}
+	t.mu.Lock()
+	t.hits++
+	t.addLocked(key, body)
+	t.mu.Unlock()
+	return body, true
+}
+
+// Put stores a snapshot under key in memory and, when configured, writes
+// it through to the disk tier. Disk write failures are absorbed — the
+// store counts them, and a missing snapshot only costs re-simulation.
+func (t *Tier) Put(key string, body []byte) {
+	t.mu.Lock()
+	t.stored++
+	t.addLocked(key, body)
+	disk := t.disk
+	t.mu.Unlock()
+	if disk != nil {
+		_ = disk.Put(key, body)
+	}
+}
+
+// addLocked inserts (or refreshes) a key and evicts least-recently-used
+// entries past the byte budget.
+func (t *Tier) addLocked(key string, body []byte) {
+	if el, ok := t.entries[key]; ok {
+		e := el.Value.(*entry)
+		t.bytes += int64(len(body)) - int64(len(e.body))
+		e.body = body
+		t.lru.MoveToFront(el)
+	} else {
+		t.entries[key] = t.lru.PushFront(&entry{key: key, body: body})
+		t.bytes += int64(len(body))
+	}
+	for t.bytes > t.maxBytes && t.lru.Len() > 1 {
+		back := t.lru.Back()
+		e := back.Value.(*entry)
+		t.lru.Remove(back)
+		delete(t.entries, e.key)
+		t.bytes -= int64(len(e.body))
+		t.evicted++
+	}
+}
+
+// RecordResume counts one run resumed from a snapshot, skipping the
+// given number of simulation quanta.
+func (t *Tier) RecordResume(quantaSaved int64) {
+	t.mu.Lock()
+	t.prefixHits++
+	if quantaSaved > 0 {
+		t.quantaSaved += uint64(quantaSaved)
+	}
+	t.mu.Unlock()
+}
+
+// Purge drops every snapshot from both tiers.
+func (t *Tier) Purge() error {
+	t.mu.Lock()
+	t.entries = make(map[string]*list.Element)
+	t.lru = list.New()
+	t.bytes = 0
+	disk := t.disk
+	t.mu.Unlock()
+	if disk != nil {
+		return disk.Purge()
+	}
+	return nil
+}
+
+// Len returns the number of in-memory snapshots.
+func (t *Tier) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.lru.Len()
+}
+
+// Bytes returns the in-memory snapshot payload size.
+func (t *Tier) Bytes() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.bytes
+}
+
+// Info is the tier's operational snapshot for /v1/stats and /v1/cache.
+type Info struct {
+	Entries     int         `json:"entries"`
+	Bytes       int64       `json:"bytes"`
+	MaxBytes    int64       `json:"max_bytes"`
+	Lookups     uint64      `json:"lookups"`
+	Hits        uint64      `json:"hits"`
+	PrefixHits  uint64      `json:"prefix_hits"`
+	QuantaSaved uint64      `json:"quanta_saved"`
+	Stored      uint64      `json:"stored"`
+	Evicted     uint64      `json:"evicted"`
+	Disk        *store.Info `json:"disk,omitempty"`
+}
+
+// Info snapshots the tier's sizes and counters.
+func (t *Tier) Info() Info {
+	t.mu.Lock()
+	info := Info{
+		Entries:     t.lru.Len(),
+		Bytes:       t.bytes,
+		MaxBytes:    t.maxBytes,
+		Lookups:     t.lookups,
+		Hits:        t.hits,
+		PrefixHits:  t.prefixHits,
+		QuantaSaved: t.quantaSaved,
+		Stored:      t.stored,
+		Evicted:     t.evicted,
+	}
+	disk := t.disk
+	t.mu.Unlock()
+	if disk != nil {
+		di := disk.Info()
+		info.Disk = &di
+	}
+	return info
+}
+
+// RunStats accumulates one request's memo activity across its
+// (concurrently executed) repetitions; the service surfaces it as the
+// X-Memo response detail and per-run report annotations.
+type RunStats struct {
+	mu              sync.Mutex
+	runs            int
+	prefixHits      int
+	quantaSaved     int64
+	quantaTotal     int64
+	snapshotsStored int
+}
+
+// Record adds one simulation's outcome: whether it resumed from a
+// snapshot, how many quanta the resume skipped, the run's total quanta,
+// and how many snapshots it stored.
+func (s *RunStats) Record(resumed bool, saved, total int64, stored int) {
+	s.mu.Lock()
+	s.runs++
+	if resumed {
+		s.prefixHits++
+		s.quantaSaved += saved
+	}
+	s.quantaTotal += total
+	s.snapshotsStored += stored
+	s.mu.Unlock()
+}
+
+// View returns a copy of the accumulated counters.
+func (s *RunStats) View() RunStatsView {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return RunStatsView{
+		Runs:            s.runs,
+		PrefixHits:      s.prefixHits,
+		QuantaSaved:     s.quantaSaved,
+		QuantaTotal:     s.quantaTotal,
+		SnapshotsStored: s.snapshotsStored,
+	}
+}
+
+// RunStatsView is one request's memo activity in serializable form.
+type RunStatsView struct {
+	Runs            int   `json:"runs"`
+	PrefixHits      int   `json:"prefix_hits"`
+	QuantaSaved     int64 `json:"quanta_saved"`
+	QuantaTotal     int64 `json:"quanta_total"`
+	SnapshotsStored int   `json:"snapshots_stored"`
+}

@@ -1,0 +1,164 @@
+package memo
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/store"
+)
+
+// key derives a store-compatible 64-hex key from a label.
+func key(label string) string {
+	h := sha256.Sum256([]byte(label))
+	return hex.EncodeToString(h[:])
+}
+
+func TestTierPutGetRoundTrip(t *testing.T) {
+	tier := New(0, nil)
+	body := []byte("snapshot-bytes")
+	tier.Put(key("a"), body)
+	got, ok := tier.Get(key("a"))
+	if !ok || !bytes.Equal(got, body) {
+		t.Fatalf("Get = %q, %v; want %q, true", got, ok, body)
+	}
+	if _, ok := tier.Get(key("absent")); ok {
+		t.Fatal("Get on an absent key reported a hit")
+	}
+	if tier.Len() != 1 || tier.Bytes() != int64(len(body)) {
+		t.Errorf("Len/Bytes = %d/%d, want 1/%d", tier.Len(), tier.Bytes(), len(body))
+	}
+}
+
+// TestTierLRUEviction checks the byte budget evicts least-recently-used
+// snapshots first and that a Get refreshes recency.
+func TestTierLRUEviction(t *testing.T) {
+	body := make([]byte, 100)
+	tier := New(250, nil) // room for two bodies
+	tier.Put(key("a"), body)
+	tier.Put(key("b"), body)
+	tier.Get(key("a")) // refresh a: b is now the eviction candidate
+	tier.Put(key("c"), body)
+	if _, ok := tier.Get(key("b")); ok {
+		t.Error("least-recently-used snapshot b survived past the byte budget")
+	}
+	for _, k := range []string{"a", "c"} {
+		if _, ok := tier.Get(key(k)); !ok {
+			t.Errorf("recently used snapshot %s was evicted", k)
+		}
+	}
+	if info := tier.Info(); info.Evicted != 1 {
+		t.Errorf("evicted = %d, want 1", info.Evicted)
+	}
+}
+
+func TestTierDiskPromotionAndPurge(t *testing.T) {
+	dir := t.TempDir()
+	open := func() *store.Store {
+		st, err := store.Open(dir, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	body := []byte("persistent-snapshot")
+	New(0, open()).Put(key("a"), body)
+
+	// A fresh tier over the same directory serves the snapshot from disk
+	// and promotes it into memory.
+	warm := New(0, open())
+	if got, ok := warm.Get(key("a")); !ok || !bytes.Equal(got, body) {
+		t.Fatalf("disk Get = %q, %v; want %q, true", got, ok, body)
+	}
+	if warm.Len() != 1 {
+		t.Errorf("disk hit was not promoted into memory: Len = %d", warm.Len())
+	}
+	if info := warm.Info(); info.Disk == nil || info.Disk.Entries != 1 {
+		t.Errorf("Info.Disk = %+v, want 1 entry", info.Disk)
+	}
+
+	if err := warm.Purge(); err != nil {
+		t.Fatal(err)
+	}
+	if warm.Len() != 0 {
+		t.Errorf("purge left %d in-memory snapshots", warm.Len())
+	}
+	if _, ok := New(0, open()).Get(key("a")); ok {
+		t.Error("purge left the snapshot on disk")
+	}
+}
+
+// TestTierCorruptDiskSnapshotIsMiss flips bytes in every stored object
+// and checks the tier reads them as misses rather than serving garbage.
+func TestTierCorruptDiskSnapshotIsMiss(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	New(0, st).Put(key("a"), []byte("soon-to-be-corrupt"))
+
+	corrupted := 0
+	err = filepath.Walk(dir, func(path string, fi os.FileInfo, err error) error {
+		if err != nil || fi.IsDir() {
+			return err
+		}
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		raw[len(raw)-1] ^= 0xff
+		corrupted++
+		return os.WriteFile(path, raw, 0o644)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if corrupted == 0 {
+		t.Fatal("no snapshot files found to corrupt")
+	}
+	st2, err := store.Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := New(0, st2).Get(key("a")); ok {
+		t.Error("corrupted disk snapshot was served as a hit")
+	}
+}
+
+func TestRunStatsRecordAndView(t *testing.T) {
+	var rs RunStats
+	rs.Record(false, 0, 100, 3)
+	rs.Record(true, 60, 100, 1)
+	got := rs.View()
+	want := RunStatsView{Runs: 2, PrefixHits: 1, QuantaSaved: 60, QuantaTotal: 200, SnapshotsStored: 4}
+	if got != want {
+		t.Errorf("View = %+v, want %+v", got, want)
+	}
+}
+
+func TestTierConcurrentAccess(t *testing.T) {
+	tier := New(1<<20, nil)
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 50; i++ {
+				k := key(fmt.Sprintf("%d-%d", g, i))
+				tier.Put(k, []byte{byte(g), byte(i)})
+				tier.Get(k)
+				tier.RecordResume(1)
+			}
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+	if info := tier.Info(); info.Stored != 200 || info.PrefixHits != 200 {
+		t.Errorf("stored/prefixHits = %d/%d, want 200/200", info.Stored, info.PrefixHits)
+	}
+}

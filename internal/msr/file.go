@@ -167,6 +167,32 @@ func (f *File) Restore(s Snapshot) error {
 	return nil
 }
 
+// RestoreRaw replaces every stored cell with the snapshot's contents
+// without invoking handlers — the machine-snapshot restore path, where the
+// handlers' backing state (PMU, RAPL, frequency grids) is restored
+// separately and a handler side effect would double-apply it. Unlike
+// Restore, banks are replaced wholesale: cells absent from the snapshot
+// are cleared, so the file's visible contents equal the snapshot exactly.
+func (f *File) RestoreRaw(s Snapshot) error {
+	if len(s.PerCore) != f.cores {
+		return fmt.Errorf("msr: snapshot has %d cores, file has %d", len(s.PerCore), f.cores)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.pkgRegs = make(map[uint32]uint64, len(s.Pkg))
+	for k, v := range s.Pkg {
+		f.pkgRegs[k] = v
+	}
+	for core, bank := range s.PerCore {
+		m := make(map[uint32]uint64, len(bank))
+		for k, v := range bank {
+			m[k] = v
+		}
+		f.coreRegs[core] = m
+	}
+	return nil
+}
+
 // Snapshot is a point-in-time copy of the register file's stored cells.
 type Snapshot struct {
 	Pkg     map[uint32]uint64

@@ -6,13 +6,14 @@ import (
 	"repro/internal/service"
 )
 
-// Backend executes one normalized spec and returns the canonical report
-// bytes plus how they were served. Implementations must be safe for
-// concurrent use; the dispatcher runs many specs against one backend at
-// a time.
+// Backend executes one normalized spec and returns the full service
+// result: the canonical report bytes, how they were served, and — when
+// the backend executed with prefix memoization — the memo detail.
+// Implementations must be safe for concurrent use; the dispatcher runs
+// many specs against one backend at a time.
 type Backend interface {
 	Name() string
-	Run(ctx context.Context, spec service.RunSpec) ([]byte, service.Outcome, error)
+	Run(ctx context.Context, spec service.RunSpec) (service.Result, error)
 }
 
 // LocalBackend wraps an in-process service.Service: the zero-setup
@@ -32,12 +33,8 @@ func (b *LocalBackend) Name() string {
 	return "local"
 }
 
-func (b *LocalBackend) Run(ctx context.Context, spec service.RunSpec) ([]byte, service.Outcome, error) {
-	res, err := b.Service.Submit(ctx, spec)
-	if err != nil {
-		return nil, "", err
-	}
-	return res.Body, res.Outcome, nil
+func (b *LocalBackend) Run(ctx context.Context, spec service.RunSpec) (service.Result, error) {
+	return b.Service.Submit(ctx, spec)
 }
 
 // RemoteBackend wraps a cfserve instance through service.Client. The
@@ -55,6 +52,6 @@ func NewRemoteBackend(url string) *RemoteBackend {
 
 func (b *RemoteBackend) Name() string { return b.Client.BaseURL }
 
-func (b *RemoteBackend) Run(ctx context.Context, spec service.RunSpec) ([]byte, service.Outcome, error) {
-	return b.Client.RunRaw(ctx, spec)
+func (b *RemoteBackend) Run(ctx context.Context, spec service.RunSpec) (service.Result, error) {
+	return b.Client.RunResult(ctx, spec)
 }

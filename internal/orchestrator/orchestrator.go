@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/memo"
 	"repro/internal/service"
 )
 
@@ -51,6 +52,9 @@ type Event struct {
 	Backend    string
 	Outcome    service.Outcome
 	Attempt    int
+	// Memo is the backend's prefix-snapshot detail for an executed spec;
+	// nil when the backend ran without memoization or served a cache hit.
+	Memo *memo.RunStatsView
 	// Err is the attempt's failure; nil for completion events.
 	Err error
 }
@@ -65,6 +69,9 @@ type SpecResult struct {
 	Backend string
 	// Attempts counts executions tried, 1 for a first-try success.
 	Attempts int
+	// Memo is the serving backend's prefix-snapshot detail; nil when the
+	// spec was a cache hit or the backend ran without memoization.
+	Memo *memo.RunStatsView
 	// Err is non-nil when every attempt failed; Body is then nil.
 	Err error
 }
@@ -89,6 +96,9 @@ type Summary struct {
 	Failovers  int                     `json:"failovers"`
 	Failed     int                     `json:"failed"`
 	Backends   map[string]BackendStats `json:"backends"`
+	// Memo aggregates the backends' prefix-snapshot activity across all
+	// executed specs; nil when no backend reported memo detail.
+	Memo *memo.RunStatsView `json:"memo,omitempty"`
 }
 
 // String renders the one-line operational summary the CLI prints (and
@@ -110,8 +120,13 @@ func (s Summary) String() string {
 	if s.Duplicates > 0 {
 		specs = fmt.Sprintf("%d spec(s) (%d duplicate cell(s) dropped)", s.Specs, s.Duplicates)
 	}
-	return fmt.Sprintf("%s, executed: %d, cache hits: %d, disk hits: %d, failovers: %d, failed: %d [%s]",
-		specs, s.Executed, s.Hits, s.DiskHits, s.Failovers, s.Failed, strings.Join(per, "; "))
+	memoNote := ""
+	if m := s.Memo; m != nil && (m.PrefixHits > 0 || m.SnapshotsStored > 0) {
+		memoNote = fmt.Sprintf(", memo: %d prefix hit(s) skipping %d/%d quanta, %d snapshot(s) stored",
+			m.PrefixHits, m.QuantaSaved, m.QuantaTotal, m.SnapshotsStored)
+	}
+	return fmt.Sprintf("%s, executed: %d, cache hits: %d, disk hits: %d, failovers: %d, failed: %d%s [%s]",
+		specs, s.Executed, s.Hits, s.DiskHits, s.Failovers, s.Failed, memoNote, strings.Join(per, "; "))
 }
 
 // SweepResult is a completed sweep: per-spec results in expansion
@@ -231,6 +246,17 @@ func (o *Orchestrator) run(ctx context.Context, specs []service.RunSpec, dropped
 		if r.Attempts > 1 {
 			res.Summary.Failovers += r.Attempts - 1
 		}
+		if r.Memo != nil {
+			if res.Summary.Memo == nil {
+				res.Summary.Memo = &memo.RunStatsView{}
+			}
+			m := res.Summary.Memo
+			m.Runs += r.Memo.Runs
+			m.PrefixHits += r.Memo.PrefixHits
+			m.QuantaSaved += r.Memo.QuantaSaved
+			m.QuantaTotal += r.Memo.QuantaTotal
+			m.SnapshotsStored += r.Memo.SnapshotsStored
+		}
 		if r.Err != nil {
 			res.Summary.Failed++
 			if firstErr == nil {
@@ -277,16 +303,16 @@ func (o *Orchestrator) runSpec(ctx context.Context, spec service.RunSpec, total,
 		}
 		bi := o.acquire(tried)
 		backend := o.cfg.Backends[bi]
-		body, outcome, err := backend.Run(ctx, spec)
+		res, err := backend.Run(ctx, spec)
 		o.release(bi, err == nil)
 		out.Attempts = attempt
 		if err == nil {
-			out.Body, out.Outcome, out.Backend = body, outcome, backend.Name()
+			out.Body, out.Outcome, out.Backend, out.Memo = res.Body, res.Outcome, backend.Name(), res.Memo
 			doneMu.Lock()
 			*done++
 			d := *done
 			doneMu.Unlock()
-			o.emit(Event{Done: d, Total: total, Duplicates: dropped, Spec: spec, Hash: hash, Backend: backend.Name(), Outcome: outcome, Attempt: attempt})
+			o.emit(Event{Done: d, Total: total, Duplicates: dropped, Spec: spec, Hash: hash, Backend: backend.Name(), Outcome: res.Outcome, Attempt: attempt, Memo: res.Memo})
 			return out
 		}
 		lastErr = fmt.Errorf("%s: %w", backend.Name(), err)

@@ -52,20 +52,20 @@ type stubBackend struct {
 
 func (b *stubBackend) Name() string { return b.name }
 
-func (b *stubBackend) Run(_ context.Context, spec service.RunSpec) ([]byte, service.Outcome, error) {
+func (b *stubBackend) Run(_ context.Context, spec service.RunSpec) (service.Result, error) {
 	n := b.calls.Add(1)
 	if b.dieAfter != 0 && n > b.dieAfter {
-		return nil, "", errors.New("connection refused (backend down)")
+		return service.Result{}, errors.New("connection refused (backend down)")
 	}
 	if b.latency > 0 {
 		time.Sleep(b.latency)
 	}
 	body, err := specReport(spec).Encode()
 	if err != nil {
-		return nil, "", err
+		return service.Result{}, err
 	}
 	b.successes.Add(1)
-	return body, service.OutcomeMiss, nil
+	return service.Result{Hash: spec.Hash(), Outcome: service.OutcomeMiss, Body: body}, nil
 }
 
 func smallSweep() SweepSpec {

@@ -86,6 +86,28 @@ func (p *PMU) TorRemote() uint64 {
 	return uint64(p.torRemote)
 }
 
+// State exports the raw accumulator state for machine snapshots: the
+// fractional per-core retirement accumulators (the visible registers are
+// their floors) and both TOR aggregates. The slice is a copy.
+func (p *PMU) State() (instRetired []float64, torLocal, torRemote float64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	instRetired = append([]float64(nil), p.instRetired...)
+	return instRetired, p.torLocal, p.torRemote
+}
+
+// SetState overwrites the accumulators from a snapshot taken by State.
+// The core count must match the PMU's.
+func (p *PMU) SetState(instRetired []float64, torLocal, torRemote float64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(instRetired) != len(p.instRetired) {
+		panic("perfmon: SetState core count mismatch")
+	}
+	copy(p.instRetired, instRetired)
+	p.torLocal, p.torRemote = torLocal, torRemote
+}
+
 // InstallHandlers publishes the counters as live MSR reads: the fixed
 // counter per core and the two TOR aggregates at package scope.
 func (p *PMU) InstallHandlers(f *msr.File) {

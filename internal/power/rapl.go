@@ -58,6 +58,41 @@ func (r *Rapl) publishLocked(now float64) {
 	r.lastPublish = now
 }
 
+// RaplState is the counter's complete mutable state, exported for machine
+// snapshots. Every field is either an exact binary float or an integer, so
+// a restore reproduces the counter bit for bit.
+type RaplState struct {
+	PendingJ    float64
+	ResidualJ   float64
+	Counter     uint32
+	LastPublish float64
+	TotalJ      float64
+}
+
+// State exports the mutable accumulator state.
+func (r *Rapl) State() RaplState {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return RaplState{
+		PendingJ:    r.pendingJ,
+		ResidualJ:   r.residualJ,
+		Counter:     r.counter,
+		LastPublish: r.lastPublish,
+		TotalJ:      r.totalJ,
+	}
+}
+
+// SetState overwrites the accumulators from a snapshot taken by State.
+func (r *Rapl) SetState(s RaplState) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.pendingJ = s.PendingJ
+	r.residualJ = s.ResidualJ
+	r.counter = s.Counter
+	r.lastPublish = s.LastPublish
+	r.totalJ = s.TotalJ
+}
+
 // Counter returns the visible 32-bit register image.
 func (r *Rapl) Counter() uint32 {
 	r.mu.Lock()

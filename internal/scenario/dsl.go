@@ -308,6 +308,42 @@ func (d Definition) regionFor(p Params, globalStep int, st step) sched.Region {
 	return sched.Region{Seg: seg, Chunks: chunks, JitterFrac: ph.JitterFrac}
 }
 
+// CompiledRegions materializes the full work-sharing region schedule for
+// one run: regions[s] is exactly the region buildWorkSharing's generator
+// yields at step s, and phases[s] is the definition phase it came from.
+// The prefix-snapshot tier hashes this list to key its snapshots, so it
+// must stay byte-for-byte the schedule the built source executes — both
+// paths size regions through the same regionFor.
+//
+// Only work-sharing definitions compile to a region schedule; the
+// work-stealing runtime's interleaving depends on engine worker count,
+// so task-DAG definitions have no worker-independent prefix to key on.
+func (d Definition) CompiledRegions(p Params) ([]sched.Region, []int, error) {
+	n := d.Normalized()
+	if err := n.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if n.Decomposition != WorkSharing {
+		return nil, nil, fmt.Errorf("scenario: %s definitions have no deterministic region schedule", n.Decomposition)
+	}
+	if p.Cores <= 0 {
+		return nil, nil, fmt.Errorf("scenario: cores must be positive, got %d", p.Cores)
+	}
+	if p.Scale <= 0 {
+		return nil, nil, fmt.Errorf("scenario: scale must be positive, got %g", p.Scale)
+	}
+	prog := n.program()
+	steps := len(prog) * n.Iterations
+	regions := make([]sched.Region, steps)
+	phases := make([]int, steps)
+	for s := 0; s < steps; s++ {
+		st := prog[s%len(prog)]
+		regions[s] = n.regionFor(p, s, st)
+		phases[s] = st.phase
+	}
+	return regions, phases, nil
+}
+
 // buildWorkSharing compiles to the OpenMP-style runtime: one barrier-
 // separated region per program step.
 func (d Definition) buildWorkSharing(p Params) workload.Source {

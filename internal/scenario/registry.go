@@ -61,6 +61,13 @@ type Entry struct {
 	// Payload carries registrar-private data opaquely (internal/bench
 	// stores its Spec here so bench.Get stays a thin view).
 	Payload any
+	// Def is the normalized DSL definition behind the entry, when the
+	// workload is a phase program (built-in synthetics, user scenario
+	// files). It is what makes an entry memoizable: the prefix-snapshot
+	// tier derives its region chain from the definition. Entries built
+	// any other way (benchmarks with stateful generators, composites
+	// like corun-mix) leave it nil and always simulate from t=0.
+	Def *Definition
 }
 
 // Info is the serializable face of an entry, served at /v1/scenarios.

@@ -199,6 +199,7 @@ func registerDef(def Definition) {
 		Description:    norm.Description,
 		NominalSeconds: norm.EstimateSeconds(20),
 		Build:          norm.Build,
+		Def:            &norm,
 	})
 }
 

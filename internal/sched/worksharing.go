@@ -71,6 +71,11 @@ type WorkSharing struct {
 	// claims at the same timestamp wait out the barrier release latency.
 	openAt float64
 
+	// regionsDone counts fully completed regions — the runtime's barrier
+	// boundary counter, which the engine polls to stop batches exactly at
+	// region boundaries (see machine.BoundarySource).
+	regionsDone int
+
 	// stats
 	regionsRun int
 	chunksRun  int
@@ -167,10 +172,65 @@ func (w *WorkSharing) Complete(core int, now float64) {
 	w.inFlight--
 	w.completed++
 	if w.completed == w.cur.Chunks {
+		w.regionsDone++
 		w.claimed = nil
 		w.openAt = now
 		w.advanceLocked()
 	}
+}
+
+// BoundaryCount returns the number of fully completed regions. It
+// implements machine.BoundarySource: the engine compares it across quanta
+// to end batches exactly at barrier boundaries, which is what makes
+// region-boundary machine snapshots land on identical floating-point
+// state whether or not a run was resumed.
+func (w *WorkSharing) BoundaryCount() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.regionsDone
+}
+
+// WSCheckpoint is the runtime's complete mutable state at a region
+// boundary: how many regions have completed, the barrier-release
+// timestamp, and the chunk counter. Together with the (pure) RegionGen,
+// seed and core count it reconstructs the runtime exactly — the claimed
+// and completion maps are empty at a boundary by construction.
+type WSCheckpoint struct {
+	RegionsDone int
+	OpenAt      float64
+	Chunks      int
+}
+
+// Checkpoint captures the runtime state at a region boundary. ok is false
+// when the runtime is mid-region (chunks claimed or in flight), where the
+// state is not reconstructible from a checkpoint.
+func (w *WorkSharing) Checkpoint() (WSCheckpoint, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.inFlight != 0 || w.completed != 0 {
+		return WSCheckpoint{}, false
+	}
+	return WSCheckpoint{RegionsDone: w.regionsDone, OpenAt: w.openAt, Chunks: w.chunksRun}, true
+}
+
+// NewWorkSharingAt reconstructs a runtime at a region boundary previously
+// captured by Checkpoint. The gen, seed and core count must be the ones
+// the original runtime was built with; chunk jitter is a pure function of
+// (seed, step, chunk), so the resumed runtime hands out bit-identical
+// segments.
+func NewWorkSharingAt(cores int, gen RegionGen, seed int64, cp WSCheckpoint) *WorkSharing {
+	if cores <= 0 {
+		panic(fmt.Sprintf("sched: invalid core count %d", cores))
+	}
+	ws := &WorkSharing{cores: cores, gen: gen, seed: seed, step: cp.RegionsDone, openAt: cp.OpenAt}
+	ws.advanceLocked()
+	ws.regionsDone = cp.RegionsDone
+	ws.regionsRun = cp.RegionsDone
+	if ws.curOK {
+		ws.regionsRun++
+	}
+	ws.chunksRun = cp.Chunks
+	return ws
 }
 
 // Done reports whether every region has run to completion.

@@ -133,9 +133,17 @@ func (c *Client) Run(ctx context.Context, spec RunSpec) (*report.RunReport, Outc
 // these so a disk hit, an LRU hit and a fresh execution of one spec are
 // indistinguishable byte for byte.
 func (c *Client) RunRaw(ctx context.Context, spec RunSpec) ([]byte, Outcome, error) {
+	res, err := c.RunResult(ctx, spec)
+	return res.Body, res.Outcome, err
+}
+
+// RunResult is RunRaw with the full response detail: the spec's content
+// hash, the cache outcome, the canonical bytes, and — when the server
+// executed the spec with prefix memoization — the parsed X-Memo detail.
+func (c *Client) RunResult(ctx context.Context, spec RunSpec) (Result, error) {
 	raw, err := json.Marshal(spec)
 	if err != nil {
-		return nil, "", err
+		return Result{}, err
 	}
 	attempts, base, max := c.retryParams()
 	jit := c.retryJitter()
@@ -145,42 +153,50 @@ func (c *Client) RunRaw(ctx context.Context, spec RunSpec) ([]byte, Outcome, err
 			select {
 			case <-time.After(jit.Backoff(k-1, base, max)):
 			case <-ctx.Done():
-				return nil, "", fmt.Errorf("%w (after %d attempt(s): %v)", ctx.Err(), k, lastErr)
+				return Result{}, fmt.Errorf("%w (after %d attempt(s): %v)", ctx.Err(), k, lastErr)
 			}
 		}
-		body, outcome, retryable, err := c.post(ctx, raw)
+		res, retryable, err := c.post(ctx, raw)
 		if err == nil {
-			return body, outcome, nil
+			return res, nil
 		}
 		if !retryable {
-			return nil, "", err
+			return Result{}, err
 		}
 		lastErr = err
 	}
-	return nil, "", fmt.Errorf("service: giving up after %d attempts: %w", attempts, lastErr)
+	return Result{}, fmt.Errorf("service: giving up after %d attempts: %w", attempts, lastErr)
 }
 
 // post performs one submission attempt; retryable marks 429
 // backpressure, the only failure worth waiting out.
-func (c *Client) post(ctx context.Context, raw []byte) (body []byte, outcome Outcome, retryable bool, err error) {
+func (c *Client) post(ctx context.Context, raw []byte) (res Result, retryable bool, err error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.url("/v1/runs"), bytes.NewReader(raw))
 	if err != nil {
-		return nil, "", false, err
+		return Result{}, false, err
 	}
 	req.Header.Set("Content-Type", "application/json")
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
-		return nil, "", false, err
+		return Result{}, false, err
 	}
 	defer resp.Body.Close()
-	body, err = io.ReadAll(resp.Body)
+	body, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return nil, "", false, err
+		return Result{}, false, err
 	}
 	if resp.StatusCode != http.StatusOK {
-		return nil, "", resp.StatusCode == http.StatusTooManyRequests, remoteError(resp.StatusCode, body)
+		return Result{}, resp.StatusCode == http.StatusTooManyRequests, remoteError(resp.StatusCode, body)
 	}
-	return body, Outcome(resp.Header.Get(HeaderCache)), false, nil
+	res = Result{
+		Hash:    resp.Header.Get(HeaderHash),
+		Outcome: Outcome(resp.Header.Get(HeaderCache)),
+		Body:    body,
+	}
+	if mv, ok := ParseMemoHeader(resp.Header.Get(HeaderMemo)); ok {
+		res.Memo = &mv
+	}
+	return res, false, nil
 }
 
 // Governors fetches the server's registered governor names.

@@ -6,19 +6,66 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"strings"
 
 	"repro/internal/governor"
+	"repro/internal/memo"
 	"repro/internal/scenario"
 )
 
 // Cache-status and content-address response headers. The cache outcome
 // travels out of band so hit, miss and coalesced responses stay
-// byte-identical in the body.
+// byte-identical in the body. The memo detail rides out of band for the
+// same reason: a prefix-resumed execution's report is byte-identical to a
+// from-scratch one, so how it was computed must not touch the body.
 const (
 	HeaderCache = "X-Cache"
 	HeaderHash  = "X-Spec-Hash"
 	HeaderJobID = "X-Job-Id"
+	HeaderMemo  = "X-Memo"
 )
+
+// FormatMemoHeader renders one execution's memo activity as the X-Memo
+// header value: space-separated key=value pairs.
+func FormatMemoHeader(v memo.RunStatsView) string {
+	return fmt.Sprintf("runs=%d prefix_hits=%d quanta_saved=%d quanta_total=%d snapshots_stored=%d",
+		v.Runs, v.PrefixHits, v.QuantaSaved, v.QuantaTotal, v.SnapshotsStored)
+}
+
+// ParseMemoHeader decodes FormatMemoHeader's output; unknown keys are
+// ignored so the format can grow. ok is false for an empty or malformed
+// value.
+func ParseMemoHeader(s string) (memo.RunStatsView, bool) {
+	var v memo.RunStatsView
+	if s == "" {
+		return v, false
+	}
+	any := false
+	for _, field := range strings.Fields(s) {
+		key, val, found := strings.Cut(field, "=")
+		if !found {
+			return memo.RunStatsView{}, false
+		}
+		n, err := strconv.ParseInt(val, 10, 64)
+		if err != nil {
+			return memo.RunStatsView{}, false
+		}
+		any = true
+		switch key {
+		case "runs":
+			v.Runs = int(n)
+		case "prefix_hits":
+			v.PrefixHits = int(n)
+		case "quanta_saved":
+			v.QuantaSaved = n
+		case "quanta_total":
+			v.QuantaTotal = n
+		case "snapshots_stored":
+			v.SnapshotsStored = int(n)
+		}
+	}
+	return v, any
+}
 
 // NewHandler exposes a Service over HTTP:
 //
@@ -88,7 +135,7 @@ func handleRuns(s *Service, w http.ResponseWriter, r *http.Request) {
 		writeError(w, statusFor(err), err)
 		return
 	}
-	writeReport(w, res.Hash, res.Outcome, res.Body)
+	writeReport(w, res.Hash, res.Outcome, res.Memo, res.Body)
 }
 
 func handleJob(s *Service, w http.ResponseWriter, r *http.Request) {
@@ -100,7 +147,7 @@ func handleJob(s *Service, w http.ResponseWriter, r *http.Request) {
 	w.Header().Set(HeaderJobID, jv.ID)
 	switch jv.Status {
 	case JobDone:
-		writeReport(w, jv.Hash, jv.Outcome, jv.Body)
+		writeReport(w, jv.Hash, jv.Outcome, jv.Memo, jv.Body)
 	case JobFailed:
 		writeError(w, http.StatusInternalServerError, errors.New(jv.Error))
 	default:
@@ -112,10 +159,13 @@ func handleJob(s *Service, w http.ResponseWriter, r *http.Request) {
 // writeReport sends the canonical report bytes verbatim — no re-encoding,
 // so the body a cache hit serves is the exact byte sequence the original
 // execution produced.
-func writeReport(w http.ResponseWriter, hash string, outcome Outcome, body []byte) {
+func writeReport(w http.ResponseWriter, hash string, outcome Outcome, mv *memo.RunStatsView, body []byte) {
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set(HeaderCache, string(outcome))
 	w.Header().Set(HeaderHash, hash)
+	if mv != nil {
+		w.Header().Set(HeaderMemo, FormatMemoHeader(*mv))
+	}
 	w.WriteHeader(http.StatusOK)
 	w.Write(body)
 }

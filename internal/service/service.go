@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/memo"
 	"repro/internal/report"
 	"repro/internal/runner"
 	"repro/internal/stats"
@@ -57,6 +58,13 @@ type Config struct {
 	// consult it before executing, and every finished execution is
 	// written through, so results survive restarts (nil = memory only).
 	Store *store.Store
+	// Memo is the optional prefix-snapshot tier (internal/memo) below the
+	// result cache: a result-cache miss whose workload shares a region
+	// prefix with an earlier run restores the last common snapshot and
+	// simulates only the suffix. It only applies to the default executor
+	// (a custom Executor owns its own run path). Results stay
+	// byte-identical with or without it.
+	Memo *memo.Tier
 }
 
 func (c Config) withDefaults() Config {
@@ -98,10 +106,14 @@ const (
 // Result is one satisfied submission: the spec's content hash, how it was
 // served, and the canonical report bytes (identical across hit, miss and
 // coalesced for the same spec — that is the cache-soundness contract).
+// Memo carries the execution's prefix-snapshot activity when the spec was
+// executed (miss/coalesced) on a memo-enabled service; it is nil on cache
+// hits, which ran no simulation at all.
 type Result struct {
 	Hash    string
 	Outcome Outcome
 	Body    []byte
+	Memo    *memo.RunStatsView
 }
 
 // JobStatus is the lifecycle of an async submission.
@@ -116,12 +128,13 @@ const (
 
 // JobView is a point-in-time snapshot of an async job.
 type JobView struct {
-	ID      string    `json:"id"`
-	Hash    string    `json:"hash"`
-	Status  JobStatus `json:"status"`
-	Outcome Outcome   `json:"outcome,omitempty"`
-	Error   string    `json:"error,omitempty"`
-	Body    []byte    `json:"-"`
+	ID      string             `json:"id"`
+	Hash    string             `json:"hash"`
+	Status  JobStatus          `json:"status"`
+	Outcome Outcome            `json:"outcome,omitempty"`
+	Error   string             `json:"error,omitempty"`
+	Memo    *memo.RunStatsView `json:"memo,omitempty"`
+	Body    []byte             `json:"-"`
 }
 
 // flight is one in-progress execution of a spec; every identical
@@ -134,6 +147,7 @@ type flight struct {
 	started atomic.Bool
 	body    []byte
 	err     error
+	memo    *memo.RunStatsView
 }
 
 // job is one async submission; it resolves through its flight, or is born
@@ -152,11 +166,12 @@ type job struct {
 // fleet. Create with New, submit with Submit/SubmitAsync, stop with
 // Shutdown.
 type Service struct {
-	cfg    Config
-	cache  *resultCache
-	queue  chan *flight
-	cancel context.CancelFunc
-	fleet  chan struct{} // closed when every worker has exited
+	cfg         Config
+	cache       *resultCache
+	queue       chan *flight
+	cancel      context.CancelFunc
+	fleet       chan struct{} // closed when every worker has exited
+	defaultExec bool          // Executor was defaulted, so the memo tier applies
 
 	mu       sync.Mutex
 	closed   bool
@@ -173,10 +188,38 @@ type Service struct {
 	completed atomic.Uint64
 	failed    atomic.Uint64
 
-	latMu  sync.Mutex
-	latSec []float64
-	latIdx int
-	latN   int
+	// Cold executions and cache-served responses live on latency scales
+	// three orders of magnitude apart; each gets its own window so a burst
+	// of hits cannot dilute the execution percentiles (or vice versa).
+	execLat latWindow
+	hitLat  latWindow
+}
+
+// latWindow is a fixed-size ring of recent latencies.
+type latWindow struct {
+	mu  sync.Mutex
+	buf []float64
+	idx int
+	n   int
+}
+
+func (w *latWindow) record(sec float64) {
+	w.mu.Lock()
+	w.buf[w.idx] = sec
+	w.idx = (w.idx + 1) % len(w.buf)
+	if w.n < len(w.buf) {
+		w.n++
+	}
+	w.mu.Unlock()
+}
+
+// snapshot copies the window's live samples.
+func (w *latWindow) snapshot() []float64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]float64, w.n)
+	copy(out, w.buf[:w.n])
+	return out
 }
 
 // maxJobs bounds the async job registry; finished jobs are evicted oldest
@@ -187,17 +230,20 @@ const maxJobs = 1024
 // shared runner.Pool, like every other harness fan-out in the repo) and
 // blocks on the queue.
 func New(cfg Config) *Service {
+	defaultExec := cfg.Executor == nil
 	cfg = cfg.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Service{
-		cfg:      cfg,
-		cache:    newResultCache(cfg.CacheEntries),
-		queue:    make(chan *flight, cfg.QueueDepth),
-		cancel:   cancel,
-		fleet:    make(chan struct{}),
-		inflight: make(map[string]*flight),
-		jobs:     make(map[string]*job),
-		latSec:   make([]float64, cfg.LatencyWindow),
+		cfg:         cfg,
+		cache:       newResultCache(cfg.CacheEntries),
+		queue:       make(chan *flight, cfg.QueueDepth),
+		cancel:      cancel,
+		fleet:       make(chan struct{}),
+		defaultExec: defaultExec,
+		inflight:    make(map[string]*flight),
+		jobs:        make(map[string]*job),
+		execLat:     latWindow{buf: make([]float64, cfg.LatencyWindow)},
+		hitLat:      latWindow{buf: make([]float64, cfg.LatencyWindow)},
 	}
 	workers := make([]func(context.Context) error, cfg.Workers)
 	for i := range workers {
@@ -228,11 +274,28 @@ func (s *Service) worker(ctx context.Context) error {
 }
 
 // execute runs one flight on the executor and publishes its result to the
-// cache, the stats and every waiter.
+// cache, the stats and every waiter. On a memo-enabled service (default
+// executor only — a custom Executor owns its run path) the experiment
+// options carry the snapshot tier and a per-flight stats collector whose
+// view travels back on the Result.
 func (s *Service) execute(ctx context.Context, fl *flight) {
 	fl.started.Store(true)
 	start := time.Now()
-	rep, err := s.cfg.Executor(ctx, fl.spec)
+	var rep *report.RunReport
+	var err error
+	if s.defaultExec && s.cfg.Memo != nil {
+		rs := &memo.RunStats{}
+		opt := fl.spec.Options()
+		opt.Memo = s.cfg.Memo
+		opt.MemoStats = rs
+		rep, err = experiments.BuildReport(fl.spec.Experiment, fl.spec.Benchmark, opt)
+		if err == nil {
+			v := rs.View()
+			fl.memo = &v
+		}
+	} else {
+		rep, err = s.cfg.Executor(ctx, fl.spec)
+	}
 	var body []byte
 	if err == nil {
 		body, err = rep.Encode()
@@ -244,7 +307,7 @@ func (s *Service) execute(ctx context.Context, fl *flight) {
 			// costs durability, not correctness — the store counts it.
 			_ = s.cfg.Store.Put(fl.hash, body)
 		}
-		s.recordLatency(time.Since(start).Seconds())
+		s.execLat.record(time.Since(start).Seconds())
 		s.completed.Add(1)
 	} else {
 		s.failed.Add(1)
@@ -266,8 +329,12 @@ func (s *Service) finish(fl *flight, body []byte, err error) {
 // identical in-flight run, or enqueue and wait. A full queue rejects
 // immediately with ErrQueueFull rather than blocking the caller.
 func (s *Service) Submit(ctx context.Context, spec RunSpec) (Result, error) {
+	start := time.Now()
 	fl, outcome, res, err := s.admit(spec)
 	if err != nil || fl == nil { // hit or disk hit: born resolved
+		if err == nil {
+			s.hitLat.record(time.Since(start).Seconds())
+		}
 		return res, err
 	}
 	select {
@@ -275,7 +342,12 @@ func (s *Service) Submit(ctx context.Context, spec RunSpec) (Result, error) {
 		if fl.err != nil {
 			return Result{}, fl.err
 		}
-		return Result{Hash: fl.hash, Outcome: outcome, Body: fl.body}, nil
+		if outcome == OutcomeCoalesced {
+			// Served by someone else's execution: the wait belongs in the
+			// cache-path window, not the cold-execution one.
+			s.hitLat.record(time.Since(start).Seconds())
+		}
+		return Result{Hash: fl.hash, Outcome: outcome, Body: fl.body, Memo: fl.memo}, nil
 	case <-ctx.Done():
 		// The flight keeps running; a later identical spec will hit the
 		// cache it populates.
@@ -393,7 +465,7 @@ func (s *Service) view(j *job) JobView {
 		if j.fl.err != nil {
 			v.Status, v.Error = JobFailed, j.fl.err.Error()
 		} else {
-			v.Status, v.Body = JobDone, j.fl.body
+			v.Status, v.Body, v.Memo = JobDone, j.fl.body, j.fl.memo
 		}
 	default:
 		if j.fl.started.Load() {
@@ -406,34 +478,36 @@ func (s *Service) view(j *job) JobView {
 }
 
 // Stats is a point-in-time operational snapshot, served at /v1/stats.
+// Execution latency (cold runs on the worker fleet) and cache-path
+// latency (hits, disk hits, coalesced waits) are reported separately —
+// and in units matched to their scales: milliseconds for executions,
+// microseconds for cache service.
 type Stats struct {
-	Hits         uint64  `json:"hits"`
-	DiskHits     uint64  `json:"disk_hits"`
-	Misses       uint64  `json:"misses"`
-	Coalesced    uint64  `json:"coalesced"`
-	Rejected     uint64  `json:"rejected"`
-	Completed    uint64  `json:"completed"`
-	Failed       uint64  `json:"failed"`
-	QueueDepth   int     `json:"queue_depth"`
-	QueueCap     int     `json:"queue_cap"`
-	Inflight     int     `json:"inflight"`
-	Workers      int     `json:"workers"`
-	CacheEntries int     `json:"cache_entries"`
-	CacheCap     int     `json:"cache_cap"`
-	P50Ms        float64 `json:"p50_ms"`
-	P95Ms        float64 `json:"p95_ms"`
+	Hits         uint64     `json:"hits"`
+	DiskHits     uint64     `json:"disk_hits"`
+	Misses       uint64     `json:"misses"`
+	Coalesced    uint64     `json:"coalesced"`
+	Rejected     uint64     `json:"rejected"`
+	Completed    uint64     `json:"completed"`
+	Failed       uint64     `json:"failed"`
+	QueueDepth   int        `json:"queue_depth"`
+	QueueCap     int        `json:"queue_cap"`
+	Inflight     int        `json:"inflight"`
+	Workers      int        `json:"workers"`
+	CacheEntries int        `json:"cache_entries"`
+	CacheCap     int        `json:"cache_cap"`
+	ExecP50Ms    float64    `json:"exec_p50_ms"`
+	ExecP95Ms    float64    `json:"exec_p95_ms"`
+	HitP50Us     float64    `json:"hit_p50_us"`
+	HitP95Us     float64    `json:"hit_p95_us"`
+	Memo         *memo.Info `json:"memo,omitempty"`
 }
 
-// Stats snapshots the counters and the execution-latency percentiles over
-// the configured window.
+// Stats snapshots the counters and both latency windows' percentiles.
 func (s *Service) Stats() Stats {
 	s.mu.Lock()
 	inflight := len(s.inflight)
 	s.mu.Unlock()
-	s.latMu.Lock()
-	window := make([]float64, s.latN)
-	copy(window, s.latSec[:s.latN])
-	s.latMu.Unlock()
 	st := Stats{
 		Hits:         s.hits.Load(),
 		DiskHits:     s.diskHits.Load(),
@@ -449,51 +523,63 @@ func (s *Service) Stats() Stats {
 		CacheEntries: s.cache.Len(),
 		CacheCap:     s.cfg.CacheEntries,
 	}
-	if len(window) > 0 {
-		st.P50Ms = stats.Percentile(window, 50) * 1e3
-		st.P95Ms = stats.Percentile(window, 95) * 1e3
+	if window := s.execLat.snapshot(); len(window) > 0 {
+		st.ExecP50Ms = stats.Percentile(window, 50) * 1e3
+		st.ExecP95Ms = stats.Percentile(window, 95) * 1e3
+	}
+	if window := s.hitLat.snapshot(); len(window) > 0 {
+		st.HitP50Us = stats.Percentile(window, 50) * 1e6
+		st.HitP95Us = stats.Percentile(window, 95) * 1e6
+	}
+	if s.cfg.Memo != nil {
+		mi := s.cfg.Memo.Info()
+		st.Memo = &mi
 	}
 	return st
 }
 
-// CacheInfo describes both cache tiers, served at GET /v1/cache.
+// CacheInfo describes every cache tier, served at GET /v1/cache.
 type CacheInfo struct {
 	// Entries and Bytes describe the in-memory LRU tier.
 	Entries int   `json:"entries"`
 	Bytes   int64 `json:"bytes"`
 	// Store describes the persistent tier; nil when none is configured.
 	Store *store.Info `json:"store,omitempty"`
+	// Memo describes the prefix-snapshot tier; nil when none is
+	// configured.
+	Memo *memo.Info `json:"memo,omitempty"`
 }
 
-// CacheInfo snapshots the LRU and (if configured) the persistent store.
+// CacheInfo snapshots the LRU, the persistent store and the memo tier.
 func (s *Service) CacheInfo() CacheInfo {
 	info := CacheInfo{Entries: s.cache.Len(), Bytes: s.cache.Bytes()}
 	if s.cfg.Store != nil {
 		si := s.cfg.Store.Info()
 		info.Store = &si
 	}
+	if s.cfg.Memo != nil {
+		mi := s.cfg.Memo.Info()
+		info.Memo = &mi
+	}
 	return info
 }
 
-// PurgeCache empties both cache tiers: every subsequent submission
-// re-executes. It does not interrupt in-flight runs (their results
-// repopulate the tiers as they finish).
+// PurgeCache empties every cache tier — the result LRU, the persistent
+// store and the prefix-snapshot tier: every subsequent submission
+// re-simulates from t=0. It does not interrupt in-flight runs (their
+// results repopulate the tiers as they finish).
 func (s *Service) PurgeCache() error {
 	s.cache.Purge()
+	var firstErr error
 	if s.cfg.Store != nil {
-		return s.cfg.Store.Purge()
+		firstErr = s.cfg.Store.Purge()
 	}
-	return nil
-}
-
-func (s *Service) recordLatency(sec float64) {
-	s.latMu.Lock()
-	s.latSec[s.latIdx] = sec
-	s.latIdx = (s.latIdx + 1) % len(s.latSec)
-	if s.latN < len(s.latSec) {
-		s.latN++
+	if s.cfg.Memo != nil {
+		if err := s.cfg.Memo.Purge(); err != nil && firstErr == nil {
+			firstErr = err
+		}
 	}
-	s.latMu.Unlock()
+	return firstErr
 }
 
 // Shutdown stops the service gracefully: new submissions are rejected

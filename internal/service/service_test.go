@@ -304,8 +304,8 @@ func TestStatsLatencyPercentiles(t *testing.T) {
 	if st.Completed != 20 {
 		t.Errorf("completed = %d, want 20", st.Completed)
 	}
-	if st.P50Ms < 0 || st.P95Ms < st.P50Ms {
-		t.Errorf("percentiles inconsistent: p50=%g p95=%g", st.P50Ms, st.P95Ms)
+	if st.ExecP50Ms < 0 || st.ExecP95Ms < st.ExecP50Ms {
+		t.Errorf("percentiles inconsistent: p50=%g p95=%g", st.ExecP50Ms, st.ExecP95Ms)
 	}
 	if st.CacheEntries != 20 {
 		t.Errorf("cache entries = %d, want 20", st.CacheEntries)

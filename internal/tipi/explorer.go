@@ -111,6 +111,50 @@ func (e *Explorer) resolveCollapsed() {
 	}
 }
 
+// ReadingState is one frequency level's JPI accumulator in serializable
+// form.
+type ReadingState struct {
+	Sum float64 `json:"sum"`
+	N   int     `json:"n"`
+}
+
+// ExplorerState is the explorer's complete mutable state, exported for
+// daemon snapshots (the grid is configuration, not state).
+type ExplorerState struct {
+	LB       freq.Level     `json:"lb"`
+	RB       freq.Level     `json:"rb"`
+	Opt      freq.Level     `json:"opt"`
+	Readings []ReadingState `json:"readings"`
+}
+
+// State exports the mutable exploration state.
+func (e *Explorer) State() ExplorerState {
+	s := ExplorerState{LB: e.lb, RB: e.rb, Opt: e.opt, Readings: make([]ReadingState, len(e.readings))}
+	for i, acc := range e.readings {
+		s.Readings[i] = ReadingState{Sum: acc.sum, N: acc.n}
+	}
+	return s
+}
+
+// SetState overwrites the exploration state from a snapshot taken by
+// State. The reading table must match the grid's level count.
+func (e *Explorer) SetState(s ExplorerState) error {
+	if len(s.Readings) != e.grid.Levels() {
+		return fmt.Errorf("tipi: state has %d readings, grid has %d levels", len(s.Readings), e.grid.Levels())
+	}
+	if s.LB < 0 || int(s.RB) >= e.grid.Levels() || s.LB > s.RB {
+		return fmt.Errorf("tipi: state bounds [%d, %d] invalid for grid %v", s.LB, s.RB, e.grid)
+	}
+	if s.Opt != NoOpt && (s.Opt < 0 || int(s.Opt) >= e.grid.Levels()) {
+		return fmt.Errorf("tipi: state optimum %d outside grid %v", s.Opt, e.grid)
+	}
+	e.lb, e.rb, e.opt = s.LB, s.RB, s.Opt
+	for i, r := range s.Readings {
+		e.readings[i] = jpiAcc{sum: r.Sum, n: r.N}
+	}
+	return nil
+}
+
 // Record adds one Tinv JPI reading at the given level (Algorithm 2 line 7).
 // Readings beyond SamplesPerAvg are ignored: the average is frozen once
 // complete, as in the paper.
