@@ -17,7 +17,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
 	"repro/internal/bench"
 	"repro/internal/core"
@@ -61,7 +60,9 @@ func main() {
 		return
 	}
 	if *listGov {
-		fmt.Println(strings.Join(governor.Names(), "\n"))
+		for _, info := range governor.List() {
+			fmt.Printf("%-18s %s\n", info.Name, info.Description)
+		}
 		return
 	}
 	if *policy != "" {

@@ -23,9 +23,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/fuzz"
 	"repro/internal/governor"
 	"repro/internal/memo"
 	"repro/internal/orchestrator"
@@ -48,6 +50,18 @@ var (
 	backends     stringList
 	listGov      bool
 	listScen     bool
+
+	fuzzN         = 100
+	baselineFile  = ""
+	writeBaseline = ""
+	replayPath    = ""
+	corpusOut     = ""
+	minimizeFlag  = false
+
+	// setFlags records which flags the user spelled out, accumulated
+	// across parseArgs's Parse calls; runFuzz consults it to override the
+	// fuzzer's own scale/cores/reps defaults only on explicit request.
+	setFlags = map[string]bool{}
 )
 
 // stringList collects a repeatable flag (-backend may be given once per
@@ -88,6 +102,12 @@ func newFlagSet(opt *experiments.Options) *flag.FlagSet {
 	fs.Int64Var(&memoMaxBytes, "memo-max-bytes", memoMaxBytes, "memo LRU byte budget (0 = 64 MiB)")
 	fs.BoolVar(&listGov, "list-governors", false, "list registered governors and exit")
 	fs.BoolVar(&listScen, "list-scenarios", false, "list registered workloads (benchmarks and scenarios) and exit")
+	fs.IntVar(&fuzzN, "n", fuzzN, "scenarios the fuzz subcommand generates before hash-dedup")
+	fs.StringVar(&baselineFile, "baseline", baselineFile, "baseline file the fuzz findings are diffed against (new findings or metric regressions exit 1)")
+	fs.StringVar(&writeBaseline, "write-baseline", writeBaseline, "write the fuzz pass's snapshot (corpus digest, cells, findings) to this file")
+	fs.StringVar(&replayPath, "replay", replayPath, "replay a corpus entry file or directory instead of generating (fuzz)")
+	fs.StringVar(&corpusOut, "corpus-out", corpusOut, "write every corpus entry as a replayable JSON file into this directory (fuzz)")
+	fs.BoolVar(&minimizeFlag, "minimize", minimizeFlag, "greedily shrink each finding-bearing scenario and persist the minimized form to -corpus-out (fuzz)")
 	return fs
 }
 
@@ -128,8 +148,11 @@ func main() {
 		usage(fs)
 		os.Exit(2)
 	}
+	fs.Visit(func(f *flag.Flag) { setFlags[f.Name] = true })
 	if listGov {
-		fmt.Println(strings.Join(governor.Names(), "\n"))
+		for _, info := range governor.List() {
+			fmt.Printf("%-18s %s\n", info.Name, info.Description)
+		}
 		return
 	}
 	if listScen {
@@ -170,7 +193,9 @@ experiments:
   run      one workload under one governor (-bench <name> or
            -scenario <file.json>, Reps rows)
   sweep    expand a parameter grid (-spec file.json) across backends
-  all      everything above in sequence
+  fuzz     generate -n scenarios from -seed, run each under every
+           registered governor, report inversions/anomalies/errors
+  all      everything above in sequence (fuzz excluded)
 
 strategies are constructed through the governor registry; -governor swaps
 the execution environment of single-environment experiments (table1), e.g.
@@ -192,6 +217,18 @@ scenarios × tinv/cores/reps/seeds/scales, listed or sampled) across one
 or more cfserve backends with least-loaded dispatch, retry and failover,
 then aggregates a cross-product comparison (best-per-cell + Pareto rows):
   cuttlefish sweep -spec sweep.json -backend http://a:8080 -backend http://b:8080
+
+fuzz samples whole scenario phase programs from seeded distributions —
+bit-deterministic for equal (-n, -seed) — and runs each under every
+registered governor, flagging execution errors, governor-ordering
+inversions (cuttlefish losing to default/static on energy) and
+anomalies. -baseline diffs the findings and cell metrics against a
+committed snapshot (new findings or regressions exit 1);
+-write-baseline refreshes it; -replay re-runs committed corpus files;
+-minimize shrinks finding-bearing scenarios into -corpus-out:
+  cuttlefish fuzz -n 1000 -seed 7 -format json
+  cuttlefish fuzz -n 50 -seed 7 -baseline internal/fuzz/testdata/baseline-n50-seed7.json
+  cuttlefish fuzz -replay internal/fuzz/testdata/corpus
 
 -memo adds a second cache tier for in-process execution: phase-boundary
 machine snapshots keyed by schedule prefix, so a run whose schedule
@@ -240,6 +277,9 @@ func run(name string, opt experiments.Options, format string) error {
 	}
 	if name == "sweep" {
 		return runSweep(opt, format)
+	}
+	if name == "fuzz" {
+		return runFuzz(opt, format)
 	}
 	if name == "all" {
 		for _, e := range []string{"table1", "fig2", "fig3a", "fig3b", "fig10", "fig11", "table2", "table3", "ablation", "ddcm"} {
@@ -310,33 +350,11 @@ func runSweep(opt experiments.Options, format string) error {
 	if err != nil {
 		return err
 	}
-	urls := append(stringList(nil), backends...)
-	if remote != "" {
-		urls = append(urls, remote)
+	pool, cleanup, err := buildBackendPool(opt)
+	if err != nil {
+		return err
 	}
-	var pool []orchestrator.Backend
-	if len(urls) == 0 {
-		cfg := service.Config{Workers: opt.Workers, QueueDepth: 64}
-		if storeDir != "" {
-			st, err := store.Open(storeDir, 0)
-			if err != nil {
-				return err
-			}
-			cfg.Store = st
-		}
-		tier, err := buildMemoTier()
-		if err != nil {
-			return err
-		}
-		cfg.Memo = tier
-		svc := service.New(cfg)
-		defer svc.Close()
-		pool = append(pool, &orchestrator.LocalBackend{Service: svc})
-	} else {
-		for _, u := range urls {
-			pool = append(pool, orchestrator.NewRemoteBackend(u))
-		}
-	}
+	defer cleanup()
 	var dupNoted bool // OnEvent calls are serialized by the orchestrator
 	o, err := orchestrator.New(orchestrator.Config{
 		Backends: pool,
@@ -385,6 +403,193 @@ func runSweep(opt experiments.Options, format string) error {
 		return err
 	}
 	return rep.Write(os.Stdout, format)
+}
+
+// buildBackendPool assembles the execution backends the sweep and fuzz
+// subcommands dispatch over: every -backend URL plus -remote, or — with
+// neither — one in-process service wired with the -store and -memo cache
+// tiers. The cleanup func tears down whatever was built.
+func buildBackendPool(opt experiments.Options) ([]orchestrator.Backend, func(), error) {
+	urls := append(stringList(nil), backends...)
+	if remote != "" {
+		urls = append(urls, remote)
+	}
+	if len(urls) > 0 {
+		var pool []orchestrator.Backend
+		for _, u := range urls {
+			pool = append(pool, orchestrator.NewRemoteBackend(u))
+		}
+		return pool, func() {}, nil
+	}
+	cfg := service.Config{Workers: opt.Workers, QueueDepth: 64}
+	if storeDir != "" {
+		st, err := store.Open(storeDir, 0)
+		if err != nil {
+			return nil, nil, err
+		}
+		cfg.Store = st
+	}
+	tier, err := buildMemoTier()
+	if err != nil {
+		return nil, nil, err
+	}
+	cfg.Memo = tier
+	svc := service.New(cfg)
+	return []orchestrator.Backend{&orchestrator.LocalBackend{Service: svc}}, svc.Close, nil
+}
+
+// runFuzz expands (or -replay loads) a scenario corpus and runs the
+// differential pass over the backend pool. The findings report — byte
+// identical across invocations, backends and cache temperatures — goes
+// to stdout in -format; corpus statistics, cache outcomes and the
+// baseline verdict go to stderr. Findings alone do not fail the command
+// (they are the fuzzer's product); new findings or metric regressions
+// against a -baseline do.
+func runFuzz(opt experiments.Options, format string) error {
+	cfg := fuzz.Config{N: fuzzN, Seed: opt.Seed, Workers: opt.Workers}
+	// The fuzzer's own defaults (8 cores, 0.05 scale, 1 rep) are sized
+	// for breadth, not paper fidelity; the shared flags override them
+	// only when the user spelled them out.
+	if setFlags["scale"] {
+		cfg.Scale = opt.Scale
+	}
+	if setFlags["cores"] {
+		cfg.Cores = opt.Cores
+	}
+	if setFlags["reps"] {
+		cfg.Reps = opt.Reps
+	}
+	if setFlags["tinv"] {
+		cfg.TinvSec = opt.TinvSec
+	}
+	var corpus *fuzz.Corpus
+	var err error
+	if replayPath != "" {
+		if corpus, err = fuzz.LoadCorpus(replayPath); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "fuzz: replaying %d scenario(s) from %s\n", len(corpus.Entries), replayPath)
+	} else {
+		if corpus, err = fuzz.Generate(cfg); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "fuzz: corpus: %d scenario(s) from seed %d (%d duplicate(s) collapsed), digest %.12s…\n",
+			len(corpus.Entries), cfg.Seed, corpus.Duplicates, corpus.Digest())
+	}
+	if corpusOut != "" {
+		if err := os.MkdirAll(corpusOut, 0o755); err != nil {
+			return err
+		}
+		for _, e := range corpus.Entries {
+			if err := fuzz.WriteEntry(filepath.Join(corpusOut, e.Def.Name+".json"), e); err != nil {
+				return err
+			}
+		}
+		fmt.Fprintf(os.Stderr, "fuzz: wrote %d corpus entr(ies) to %s\n", len(corpus.Entries), corpusOut)
+	}
+	pool, cleanup, err := buildBackendPool(opt)
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+	ctx := context.Background()
+	rep, err := fuzz.Run(ctx, pool, corpus, cfg)
+	if err != nil {
+		return err
+	}
+	outcomes := map[string]int{}
+	for _, c := range rep.Cells {
+		if c.Outcome != "" {
+			outcomes[c.Outcome]++
+		}
+	}
+	fmt.Fprintf(os.Stderr, "fuzz: %d cell(s) executed (%s), %d finding(s)\n",
+		len(rep.Cells), formatOutcomes(outcomes), len(rep.Findings))
+	if minimizeFlag {
+		if err := minimizeFindings(ctx, pool, rep, corpus, cfg); err != nil {
+			return err
+		}
+	}
+	if err := rep.RunReport().Write(os.Stdout, format); err != nil {
+		return err
+	}
+	if writeBaseline != "" {
+		if err := fuzz.BaselineOf(rep, cfg).Save(writeBaseline); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "fuzz: baseline written to %s\n", writeBaseline)
+	}
+	if baselineFile != "" {
+		base, err := fuzz.LoadBaseline(baselineFile)
+		if err != nil {
+			return err
+		}
+		violations, resolved, err := fuzz.Diff(base, rep, cfg)
+		if err != nil {
+			return err
+		}
+		for _, f := range resolved {
+			fmt.Fprintf(os.Stderr, "fuzz: resolved vs baseline (refresh it with -write-baseline): %s/%s %s\n", f.Scenario, f.Kind, f.Detail)
+		}
+		if len(violations) > 0 {
+			for _, f := range violations {
+				fmt.Fprintf(os.Stderr, "fuzz: VIOLATION %s %s governor=%s ref=%s: %s\n", f.Scenario, f.Kind, f.Governor, f.Reference, f.Detail)
+			}
+			return fmt.Errorf("%d violation(s) vs baseline %s", len(violations), baselineFile)
+		}
+		fmt.Fprintf(os.Stderr, "fuzz: baseline %s holds (%d finding(s) match, no metric regressions)\n", baselineFile, len(base.Findings))
+	}
+	return nil
+}
+
+// minimizeFindings greedily shrinks every finding-bearing scenario (one
+// per scenario, all its finding kinds at once) and persists the minimized
+// entries to -corpus-out, or describes them on stderr without it.
+func minimizeFindings(ctx context.Context, pool []orchestrator.Backend, rep *fuzz.Report, corpus *fuzz.Corpus, cfg fuzz.Config) error {
+	kindsByScenario := map[string]map[string]bool{}
+	for _, f := range rep.Findings {
+		if kindsByScenario[f.Scenario] == nil {
+			kindsByScenario[f.Scenario] = map[string]bool{}
+		}
+		kindsByScenario[f.Scenario][f.Kind] = true
+	}
+	runOne := func(ctx context.Context, e fuzz.Entry) ([]fuzz.Finding, error) {
+		r, err := fuzz.Run(ctx, pool, &fuzz.Corpus{Requested: 1, Entries: []fuzz.Entry{e}}, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return r.Findings, nil
+	}
+	for _, e := range corpus.Entries {
+		kinds := kindsByScenario[e.Def.Name]
+		if len(kinds) == 0 {
+			continue
+		}
+		min, spent := fuzz.Minimize(ctx, e, kinds, runOne, 64)
+		min.Note = fmt.Sprintf("minimized from %s (%d evaluation(s))", e.Def.Name, spent)
+		fmt.Fprintf(os.Stderr, "fuzz: minimized %s -> %s: %d phase(s) x %d iteration(s) (%d evaluation(s))\n",
+			e.Def.Name, min.Def.Name, len(min.Def.Phases), min.Def.Iterations, spent)
+		if corpusOut != "" {
+			if err := fuzz.WriteEntry(filepath.Join(corpusOut, "min-"+min.Def.Name+".json"), min); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// formatOutcomes renders cache-outcome counts in a fixed order.
+func formatOutcomes(counts map[string]int) string {
+	var parts []string
+	for _, k := range []string{"miss", "hit", "disk", "coalesced"} {
+		if counts[k] > 0 {
+			parts = append(parts, fmt.Sprintf("%d %s", counts[k], k))
+		}
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, ", ")
 }
 
 // runRemote ships the experiment to a cfserve instance: the same flags

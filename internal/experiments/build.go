@@ -152,6 +152,21 @@ func resolveWorkload(benchName string, opt Options) (scenario.Entry, error) {
 	return e, nil
 }
 
+// Column names of the "run" report, exported so consumers that parse the
+// canonical bytes back out of the cache (the fuzz differ, sweep
+// aggregation tooling) name columns against the producer instead of
+// re-spelling strings that could silently drift.
+const (
+	RunColBenchmark = "benchmark"
+	RunColGovernor  = "governor"
+	RunColRep       = "rep"
+	RunColSeconds   = "seconds"
+	RunColJoules    = "joules"
+	RunColAvgWatts  = "avg_watts"
+	RunColEDP       = "edp"
+	RunColUncoreGHz = "avg_uncore_ghz"
+)
+
 // RunOneReport executes one workload Reps times under the configured
 // governor and reports one row per repetition: the "run" experiment behind
 // POST /v1/runs. The workload resolves through the scenario registry —
@@ -178,7 +193,8 @@ func RunOneReport(benchName string, opt Options) (*report.RunReport, error) {
 	if err != nil {
 		return nil, err
 	}
-	rep := report.New("run", "benchmark", "governor", "rep", "seconds", "joules", "avg_watts", "edp", "avg_uncore_ghz")
+	rep := report.New("run", RunColBenchmark, RunColGovernor, RunColRep, RunColSeconds,
+		RunColJoules, RunColAvgWatts, RunColEDP, RunColUncoreGHz)
 	rep.Governor = gov
 	rep.Title = fmt.Sprintf("%s under %s (scale %.2f, %d rep(s))", entry.Name, gov, opt.Scale, reps)
 	rep.Meta = opt.meta()

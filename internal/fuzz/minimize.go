@@ -1,0 +1,115 @@
+package fuzz
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/scenario"
+)
+
+// RunEntryFn runs one corpus entry differentially (every governor) and
+// returns its findings. Minimize is written against this function type
+// so tests can substitute cheap stubs for the full backend path.
+type RunEntryFn func(ctx context.Context, e Entry) ([]Finding, error)
+
+// Minimize greedily shrinks a failing scenario while a finding of one of
+// the original kinds persists: fewer iterations, fewer phases, fewer
+// repeats, smaller instruction budgets, no jitter. Each accepted
+// reduction re-derives the content name and run seed (a minimized
+// scenario is a different scenario), so findings are matched by
+// (kind, governor) rather than by name. The search evaluates at most
+// budget candidates; the best entry found so far is returned with the
+// number of evaluations spent.
+func Minimize(ctx context.Context, e Entry, kinds map[string]bool, run RunEntryFn, budget int) (Entry, int) {
+	spent := 0
+	reproduces := func(cand Entry) bool {
+		if spent >= budget || ctx.Err() != nil {
+			return false
+		}
+		spent++
+		fs, err := run(ctx, cand)
+		if err != nil {
+			return false
+		}
+		for _, f := range fs {
+			if kinds[f.Kind] {
+				return true
+			}
+		}
+		return false
+	}
+	for spent < budget {
+		improved := false
+		for _, cand := range candidates(e) {
+			if reproduces(cand) {
+				e = cand
+				improved = true
+				break // restart the candidate scan from the smaller entry
+			}
+			if spent >= budget || ctx.Err() != nil {
+				return e, spent
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return e, spent
+}
+
+// rebuild renormalizes a mutated definition and re-derives its content
+// name, description and run seed — the same naming rule the generator
+// uses, so a minimized entry is indistinguishable from a generated one.
+func rebuild(d scenario.Definition) Entry {
+	d = d.Normalized()
+	sum := defDigest(d)
+	d.Name = fmt.Sprintf("fuzz-%x", sum[:6])
+	d.Description = fmt.Sprintf("generated: %d phase(s) × %d iteration(s), %s",
+		len(d.Phases), d.Iterations, d.Decomposition)
+	return Entry{Seed: seedFromDef(d), Def: d}
+}
+
+// candidates enumerates one round of strictly-smaller variants, in a
+// fixed order biased toward the biggest structural cuts first.
+func candidates(e Entry) []Entry {
+	var out []Entry
+	d := e.Def
+	if d.Iterations > 1 {
+		v := d
+		v.Iterations = 1
+		out = append(out, rebuild(v))
+	}
+	if len(d.Phases) > 1 {
+		for i := range d.Phases {
+			v := d
+			v.Phases = append(append([]scenario.PhaseDef(nil), d.Phases[:i]...), d.Phases[i+1:]...)
+			out = append(out, rebuild(v))
+		}
+	}
+	for i, p := range d.Phases {
+		if p.Repeat > 1 {
+			v := d
+			v.Phases = append([]scenario.PhaseDef(nil), d.Phases...)
+			v.Phases[i].Repeat = 1
+			out = append(out, rebuild(v))
+		}
+	}
+	for i, p := range d.Phases {
+		if p.Instructions > 2e10 {
+			v := d
+			v.Phases = append([]scenario.PhaseDef(nil), d.Phases...)
+			v.Phases[i].Instructions = p.Instructions / 2
+			out = append(out, rebuild(v))
+		}
+	}
+	for i, p := range d.Phases {
+		if p.JitterFrac > 0 || p.MissJitter > 0 {
+			v := d
+			v.Phases = append([]scenario.PhaseDef(nil), d.Phases...)
+			v.Phases[i].JitterFrac = 0
+			v.Phases[i].MissJitter = 0
+			out = append(out, rebuild(v))
+		}
+	}
+	return out
+}

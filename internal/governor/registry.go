@@ -173,14 +173,34 @@ const (
 // throughout §5, in report order.
 var CuttlefishVariants = []string{Cuttlefish, CuttlefishCore, CuttlefishUncore}
 
+// Info is the serializable face of a registered strategy: the name it
+// answers to and a one-line description for listings (-list-governors,
+// /v1/governors, fuzz findings reports). Description may be empty for
+// strategies registered through the bare Register path.
+type Info struct {
+	Name        string `json:"name"`
+	Description string `json:"description,omitempty"`
+}
+
+type regEntry struct {
+	factory     Factory
+	description string
+}
+
 var (
 	regMu    sync.RWMutex
-	registry = map[string]Factory{}
+	registry = map[string]regEntry{}
 )
 
-// Register adds a named strategy to the registry. Duplicate names are
-// rejected so two packages cannot silently shadow each other's strategies.
+// Register adds a named strategy to the registry with no listing
+// description. Duplicate names are rejected so two packages cannot
+// silently shadow each other's strategies.
 func Register(name string, f Factory) error {
+	return RegisterInfo(name, "", f)
+}
+
+// RegisterInfo is Register plus a one-line description for listings.
+func RegisterInfo(name, description string, f Factory) error {
 	if name == "" || f == nil {
 		return errors.New("governor: Register needs a name and a factory")
 	}
@@ -189,7 +209,7 @@ func Register(name string, f Factory) error {
 	if _, dup := registry[name]; dup {
 		return fmt.Errorf("governor: %q already registered", name)
 	}
-	registry[name] = f
+	registry[name] = regEntry{factory: f, description: description}
 	return nil
 }
 
@@ -200,16 +220,23 @@ func MustRegister(name string, f Factory) {
 	}
 }
 
+// mustRegisterInfo is RegisterInfo for the built-ins below.
+func mustRegisterInfo(name, description string, f Factory) {
+	if err := RegisterInfo(name, description, f); err != nil {
+		panic(err)
+	}
+}
+
 // New constructs the named strategy with the given tuning. Unknown names
 // list the registry so CLI typos are self-diagnosing.
 func New(name string, t Tuning) (Governor, error) {
 	regMu.RLock()
-	f, ok := registry[name]
+	e, ok := registry[name]
 	regMu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("governor: unknown governor %q (registered: %v)", name, Names())
 	}
-	return f(t)
+	return e.factory(t)
 }
 
 // Exists reports whether name is a registered strategy, without
@@ -234,33 +261,54 @@ func Names() []string {
 	return names
 }
 
+// List snapshots every registered strategy's Info in sorted-name order —
+// the stable order listings and the fuzz findings report key on.
+func List() []Info {
+	names := Names()
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]Info, len(names))
+	for i, n := range names {
+		out[i] = Info{Name: n, Description: registry[n].description}
+	}
+	return out
+}
+
+// Describe returns the one-line listing description of a registered
+// strategy ("" for unknown names or bare registrations).
+func Describe(name string) string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	return registry[name].description
+}
+
 func init() {
-	MustRegister(Default, func(Tuning) (Governor, error) {
+	mustRegisterInfo(Default, "paper baseline: performance governor, firmware Auto uncore", func(Tuning) (Governor, error) {
 		return defaultGovernor{}, nil
 	})
-	MustRegister(Cuttlefish, func(t Tuning) (Governor, error) {
+	mustRegisterInfo(Cuttlefish, "TIPI-guided daemon tuning core and uncore frequency (§4)", func(t Tuning) (Governor, error) {
 		return NewCuttlefish(core.PolicyBoth, t), nil
 	})
-	MustRegister(CuttlefishCore, func(t Tuning) (Governor, error) {
+	mustRegisterInfo(CuttlefishCore, "Cuttlefish daemon restricted to the core-frequency domain", func(t Tuning) (Governor, error) {
 		return NewCuttlefish(core.PolicyCoreOnly, t), nil
 	})
-	MustRegister(CuttlefishUncore, func(t Tuning) (Governor, error) {
+	mustRegisterInfo(CuttlefishUncore, "Cuttlefish daemon restricted to the uncore-frequency domain", func(t Tuning) (Governor, error) {
 		return NewCuttlefish(core.PolicyUncoreOnly, t), nil
 	})
-	MustRegister(Static, func(t Tuning) (Governor, error) {
+	mustRegisterInfo(Static, "both domains pinned at fixed ratios (default: grid maxima)", func(t Tuning) (Governor, error) {
 		return NewStatic(t.CF, t.UF), nil
 	})
-	MustRegister(DDCM, func(t Tuning) (Governor, error) {
+	mustRegisterInfo(DDCM, "duty-cycle modulation throttle at full voltage (Bhalachandra et al.)", func(t Tuning) (Governor, error) {
 		level := t.DDCMLevel
 		if level == 0 {
 			level = DefaultDDCMLevel
 		}
 		return NewDDCM(t.CF, level), nil
 	})
-	MustRegister(Powersave, func(Tuning) (Governor, error) {
+	mustRegisterInfo(Powersave, "both domains pinned at their grid minima", func(Tuning) (Governor, error) {
 		return powersaveGovernor{}, nil
 	})
-	MustRegister(Ondemand, func(t Tuning) (Governor, error) {
+	mustRegisterInfo(Ondemand, "Linux-ondemand-style reactive per-core DVFS on sampled throughput", func(t Tuning) (Governor, error) {
 		return NewOndemand(t.TinvSec), nil
 	})
 }

@@ -192,3 +192,28 @@ func TestCuttlefishAttachmentCarriesDaemon(t *testing.T) {
 		t.Error("daemon processed no samples while attached")
 	}
 }
+
+// TestListDescribesEveryBuiltin pins the listing contract the fuzz
+// findings report and -list-governors rely on: every built-in carries a
+// non-empty one-line description, List is sorted by name (the stable
+// order), and Describe agrees with it.
+func TestListDescribesEveryBuiltin(t *testing.T) {
+	infos := List()
+	if len(infos) < 8 {
+		t.Fatalf("List() returned %d entries, want at least the 8 built-ins", len(infos))
+	}
+	for i, info := range infos {
+		if info.Description == "" {
+			t.Errorf("built-in %q has no listing description", info.Name)
+		}
+		if got := Describe(info.Name); got != info.Description {
+			t.Errorf("Describe(%q) = %q, List says %q", info.Name, got, info.Description)
+		}
+		if i > 0 && infos[i-1].Name >= info.Name {
+			t.Errorf("List() not sorted: %q before %q", infos[i-1].Name, info.Name)
+		}
+	}
+	if Describe("no-such-governor") != "" {
+		t.Error("Describe of an unknown name should be empty")
+	}
+}

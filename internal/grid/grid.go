@@ -65,32 +65,146 @@ func Size(lens []int) int {
 	return n
 }
 
-// Kumaraswamy draws n deterministic samples from the Kumaraswamy(a, b)
-// distribution — CDF F(x) = 1 − (1 − x^a)^b on [0, 1] — rescaled onto
-// [min, max]. The distribution is the bounded-support workhorse for
-// randomized scenario axes (phase lengths, imbalance factors): its
-// inverse CDF is closed-form, so each draw is one uniform variate from
-// the seeded generator pushed through
+// KumaraswamyInvCDF is the closed-form inverse CDF of the
+// Kumaraswamy(a, b) distribution — F(x) = 1 − (1 − x^a)^b on [0, 1]:
 //
 //	x = (1 − (1 − u)^{1/b})^{1/a}
 //
-// making the whole sample a pure function of (a, b, n, seed, min, max).
-func Kumaraswamy(a, b float64, n int, seed int64, min, max float64) ([]float64, error) {
-	if a <= 0 || b <= 0 {
-		return nil, fmt.Errorf("grid: kumaraswamy shape parameters must be positive, got a=%g b=%g", a, b)
+// It is the single quantile function every sampler in this package pushes
+// uniform variates through, with the edge cases pinned explicitly instead
+// of leaking NaN/Inf samples into generated scenarios: non-positive or
+// non-finite shape parameters and u outside [0, 1] are errors, and the
+// endpoints map exactly (u=0 → 0, u=1 → 1) for every valid shape.
+func KumaraswamyInvCDF(a, b, u float64) (float64, error) {
+	if !(a > 0) || !(b > 0) || math.IsInf(a, 1) || math.IsInf(b, 1) {
+		// !(x > 0) also catches NaN shapes.
+		return 0, fmt.Errorf("grid: kumaraswamy shape parameters must be positive and finite, got a=%g b=%g", a, b)
 	}
+	if !(u >= 0 && u <= 1) {
+		return 0, fmt.Errorf("grid: kumaraswamy variate must lie in [0, 1], got %g", u)
+	}
+	switch u {
+	case 0:
+		return 0, nil
+	case 1:
+		return 1, nil
+	}
+	return math.Pow(1-math.Pow(1-u, 1/b), 1/a), nil
+}
+
+// checkSupport validates a sampler's [min, max] rescale target: the
+// bounds must be finite and ordered. A degenerate min == max support is
+// legal — every sample is that constant — which is how a sweep axis or a
+// fuzzer pins one knob while sampling the rest.
+func checkSupport(min, max float64) error {
+	if math.IsNaN(min) || math.IsNaN(max) || math.IsInf(min, 0) || math.IsInf(max, 0) {
+		return fmt.Errorf("grid: support bounds must be finite, got [%g, %g]", min, max)
+	}
+	if min > max {
+		return fmt.Errorf("grid: inverted support [%g, %g]", min, max)
+	}
+	return nil
+}
+
+// Kumaraswamy draws n deterministic samples from the Kumaraswamy(a, b)
+// distribution rescaled onto [min, max]. The distribution is the
+// bounded-support workhorse for randomized scenario axes (phase lengths,
+// imbalance factors): each draw is one uniform variate from the seeded
+// generator pushed through KumaraswamyInvCDF, making the whole sample a
+// pure function of (a, b, n, seed, min, max).
+func Kumaraswamy(a, b float64, n int, seed int64, min, max float64) ([]float64, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("grid: sample count must be positive, got %d", n)
 	}
-	if min > max {
-		return nil, fmt.Errorf("grid: inverted support [%g, %g]", min, max)
+	if err := checkSupport(min, max); err != nil {
+		return nil, err
+	}
+	if _, err := KumaraswamyInvCDF(a, b, 0); err != nil {
+		return nil, err // invalid shapes, reported once up front
 	}
 	rng := rand.New(rand.NewSource(seed))
 	out := make([]float64, n)
 	for i := range out {
-		u := rng.Float64()
-		x := math.Pow(1-math.Pow(1-u, 1/b), 1/a)
+		x, _ := KumaraswamyInvCDF(a, b, rng.Float64()) // shapes validated above
 		out[i] = min + x*(max-min)
 	}
 	return out, nil
+}
+
+// Sampler is a seeded stream of bounded-support draws: the scenario
+// fuzzer's source of randomness. Every method consumes variates from one
+// deterministic underlying stream, so a generated object is a pure
+// function of the construction seed and the exact sequence of calls —
+// the property that makes `cuttlefish fuzz -n 1000 -seed k` expand to a
+// bit-identical corpus on every machine. Methods panic on invalid
+// parameters (shape/support errors are programming bugs at generation
+// sites, not data errors), mirroring how the generator's own distribution
+// choices are compile-time constants.
+type Sampler struct {
+	rng *rand.Rand
+}
+
+// NewSampler starts a deterministic draw stream from seed.
+func NewSampler(seed int64) *Sampler {
+	return &Sampler{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Uniform draws uniformly from [min, max).
+func (s *Sampler) Uniform(min, max float64) float64 {
+	if err := checkSupport(min, max); err != nil {
+		panic(err)
+	}
+	return min + s.rng.Float64()*(max-min)
+}
+
+// Kumaraswamy draws one Kumaraswamy(a, b) variate rescaled onto
+// [min, max].
+func (s *Sampler) Kumaraswamy(a, b, min, max float64) float64 {
+	if err := checkSupport(min, max); err != nil {
+		panic(err)
+	}
+	x, err := KumaraswamyInvCDF(a, b, s.rng.Float64())
+	if err != nil {
+		panic(err)
+	}
+	return min + x*(max-min)
+}
+
+// IntBetween draws an integer uniformly from [lo, hi] inclusive.
+func (s *Sampler) IntBetween(lo, hi int) int {
+	if lo > hi {
+		panic(fmt.Sprintf("grid: inverted integer support [%d, %d]", lo, hi))
+	}
+	return lo + s.rng.Intn(hi-lo+1)
+}
+
+// Choice draws an index into n options, weighted by the given weights
+// (uniform when weights is nil or all-zero).
+func (s *Sampler) Choice(weights []float64) int {
+	if len(weights) == 0 {
+		panic("grid: choice needs at least one option")
+	}
+	var total float64
+	for _, w := range weights {
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			panic(fmt.Sprintf("grid: choice weights must be finite and non-negative, got %g", w))
+		}
+		total += w
+	}
+	if total == 0 {
+		return s.rng.Intn(len(weights))
+	}
+	u := s.rng.Float64() * total
+	for i, w := range weights {
+		u -= w
+		if u < 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// Bool draws true with probability p.
+func (s *Sampler) Bool(p float64) bool {
+	return s.rng.Float64() < p
 }

@@ -86,17 +86,161 @@ func TestKumaraswamyShape(t *testing.T) {
 
 func TestKumaraswamyRejectsBadParams(t *testing.T) {
 	for _, tc := range []struct {
+		name     string
 		a, b     float64
 		n        int
 		min, max float64
 	}{
-		{0, 1, 5, 0, 1},
-		{1, -2, 5, 0, 1},
-		{1, 1, 0, 0, 1},
-		{1, 1, 5, 2, 1},
+		{"zero a", 0, 1, 5, 0, 1},
+		{"negative b", 1, -2, 5, 0, 1},
+		{"NaN a", math.NaN(), 1, 5, 0, 1},
+		{"NaN b", 1, math.NaN(), 5, 0, 1},
+		{"infinite a", math.Inf(1), 1, 5, 0, 1},
+		{"zero samples", 1, 1, 0, 0, 1},
+		{"inverted support", 1, 1, 5, 2, 1},
+		{"NaN support", 1, 1, 5, math.NaN(), 1},
+		{"infinite support", 1, 1, 5, 0, math.Inf(1)},
 	} {
 		if _, err := Kumaraswamy(tc.a, tc.b, tc.n, 1, tc.min, tc.max); err == nil {
-			t.Errorf("Kumaraswamy(%+v) accepted invalid parameters", tc)
+			t.Errorf("%s: Kumaraswamy(a=%g b=%g n=%d [%g,%g]) accepted invalid parameters",
+				tc.name, tc.a, tc.b, tc.n, tc.min, tc.max)
 		}
 	}
+}
+
+// TestKumaraswamyDegenerateSupport pins the min == max case: every
+// sample is exactly the constant, never NaN from a 0-width rescale.
+func TestKumaraswamyDegenerateSupport(t *testing.T) {
+	xs, err := Kumaraswamy(2, 3, 50, 9, 0.25, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range xs {
+		if x != 0.25 {
+			t.Fatalf("sample %d over degenerate support = %g, want exactly 0.25", i, x)
+		}
+	}
+}
+
+// TestKumaraswamyInvCDFEdges is the table-driven edge-case contract: the
+// quantile function must map the u ∈ {0, 1} endpoints exactly, stay
+// finite on every valid input, and reject invalid shapes and variates
+// with errors instead of returning NaN/Inf.
+func TestKumaraswamyInvCDFEdges(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		a, b, u float64
+		want    float64
+		wantErr bool
+	}{
+		{name: "u=0 endpoint", a: 2, b: 3, u: 0, want: 0},
+		{name: "u=1 endpoint", a: 2, b: 3, u: 1, want: 1},
+		{name: "u=0 with tiny shapes", a: 1e-6, b: 1e-6, u: 0, want: 0},
+		{name: "u=1 with tiny shapes", a: 1e-6, b: 1e-6, u: 1, want: 1},
+		{name: "uniform special case", a: 1, b: 1, u: 0.5, want: 0.5},
+		{name: "median of a=1 b=1", a: 1, b: 2, u: 0.75, want: 0.5},
+		{name: "zero a", a: 0, b: 1, u: 0.5, wantErr: true},
+		{name: "zero b", a: 1, b: 0, u: 0.5, wantErr: true},
+		{name: "negative a", a: -1, b: 1, u: 0.5, wantErr: true},
+		{name: "NaN a", a: math.NaN(), b: 1, u: 0.5, wantErr: true},
+		{name: "NaN b", a: 1, b: math.NaN(), u: 0.5, wantErr: true},
+		{name: "infinite a", a: math.Inf(1), b: 1, u: 0.5, wantErr: true},
+		{name: "infinite b", a: 1, b: math.Inf(1), u: 0.5, wantErr: true},
+		{name: "u below 0", a: 1, b: 1, u: -0.1, wantErr: true},
+		{name: "u above 1", a: 1, b: 1, u: 1.1, wantErr: true},
+		{name: "NaN u", a: 1, b: 1, u: math.NaN(), wantErr: true},
+	} {
+		got, err := KumaraswamyInvCDF(tc.a, tc.b, tc.u)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("%s: InvCDF(%g, %g, %g) = %g, want error", tc.name, tc.a, tc.b, tc.u, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("%s: InvCDF(%g, %g, %g) errored: %v", tc.name, tc.a, tc.b, tc.u, err)
+			continue
+		}
+		if math.IsNaN(got) || math.IsInf(got, 0) {
+			t.Errorf("%s: InvCDF(%g, %g, %g) = %g, want finite", tc.name, tc.a, tc.b, tc.u, got)
+			continue
+		}
+		if math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("%s: InvCDF(%g, %g, %g) = %g, want %g", tc.name, tc.a, tc.b, tc.u, got, tc.want)
+		}
+	}
+}
+
+// TestKumaraswamyInvCDFStaysInUnitInterval fuzzes the valid domain: no
+// (a, b, u) combination of extreme-but-valid parameters may escape
+// [0, 1] or go non-finite.
+func TestKumaraswamyInvCDFStaysInUnitInterval(t *testing.T) {
+	shapes := []float64{1e-3, 0.5, 1, 2, 50, 1e3}
+	us := []float64{0, 1e-300, 1e-9, 0.5, 1 - 1e-9, 1}
+	for _, a := range shapes {
+		for _, b := range shapes {
+			for _, u := range us {
+				x, err := KumaraswamyInvCDF(a, b, u)
+				if err != nil {
+					t.Fatalf("InvCDF(%g, %g, %g) errored: %v", a, b, u, err)
+				}
+				if !(x >= 0 && x <= 1) {
+					t.Fatalf("InvCDF(%g, %g, %g) = %g escapes [0, 1]", a, b, u, x)
+				}
+			}
+		}
+	}
+}
+
+func TestSamplerDeterministicStreams(t *testing.T) {
+	draw := func(seed int64) []float64 {
+		s := NewSampler(seed)
+		out := []float64{
+			s.Uniform(0, 10),
+			s.Kumaraswamy(2, 3, 1, 5),
+			float64(s.IntBetween(3, 9)),
+			float64(s.Choice([]float64{1, 2, 3})),
+		}
+		if s.Bool(0.5) {
+			out = append(out, 1)
+		}
+		return out
+	}
+	if a, b := draw(7), draw(7); !reflect.DeepEqual(a, b) {
+		t.Errorf("same seed diverged: %v vs %v", a, b)
+	}
+	if a, c := draw(7), draw(8); reflect.DeepEqual(a, c) {
+		t.Error("different seeds should draw different streams")
+	}
+}
+
+func TestSamplerBoundsAndPanics(t *testing.T) {
+	s := NewSampler(1)
+	for i := 0; i < 1000; i++ {
+		if x := s.Uniform(2, 3); x < 2 || x >= 3 {
+			t.Fatalf("Uniform escaped: %g", x)
+		}
+		if x := s.Kumaraswamy(0.8, 4, -1, 1); x < -1 || x > 1 {
+			t.Fatalf("Kumaraswamy escaped: %g", x)
+		}
+		if n := s.IntBetween(5, 7); n < 5 || n > 7 {
+			t.Fatalf("IntBetween escaped: %d", n)
+		}
+		if c := s.Choice([]float64{0, 1, 0}); c != 1 {
+			t.Fatalf("Choice ignored the only positive weight: %d", c)
+		}
+	}
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic on invalid parameters", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("Uniform inverted", func() { s.Uniform(3, 2) })
+	mustPanic("Kumaraswamy bad shape", func() { s.Kumaraswamy(-1, 1, 0, 1) })
+	mustPanic("IntBetween inverted", func() { s.IntBetween(9, 3) })
+	mustPanic("Choice negative weight", func() { s.Choice([]float64{1, -1}) })
+	mustPanic("Choice empty", func() { s.Choice(nil) })
 }

@@ -84,6 +84,41 @@ func Decode(data []byte) (*RunReport, error) {
 	return &r, nil
 }
 
+// Floats extracts one numeric column in row order. It accepts both
+// in-process reports (typed cells) and Decode'd ones (every number a
+// float64, per encoding/json), so consumers like the fuzz differ read
+// metrics identically whether a run executed locally or arrived as
+// canonical bytes from a backend. Unknown columns and non-numeric cells
+// are errors — silently reading zeros would fabricate metrics.
+func (r *RunReport) Floats(col string) ([]float64, error) {
+	known := false
+	for _, c := range r.Columns {
+		if c == col {
+			known = true
+			break
+		}
+	}
+	if !known {
+		return nil, fmt.Errorf("report: %s has no column %q (columns: %v)", r.Experiment, col, r.Columns)
+	}
+	out := make([]float64, len(r.Rows))
+	for i, row := range r.Rows {
+		switch v := row[col].(type) {
+		case float64:
+			out[i] = v
+		case float32:
+			out[i] = float64(v)
+		case int:
+			out[i] = float64(v)
+		case int64:
+			out[i] = float64(v)
+		default:
+			return nil, fmt.Errorf("report: %s row %d column %q is %T, not numeric", r.Experiment, i, col, row[col])
+		}
+	}
+	return out, nil
+}
+
 // WriteCSV renders the header and rows in column order.
 func (r *RunReport) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 
 	"repro/internal/sched"
@@ -123,6 +124,15 @@ func (d Definition) Normalized() Definition {
 	return d
 }
 
+// finite reports whether v is a usable real number. Validate applies it
+// to every float knob: NaN would sail through one-sided comparisons like
+// `Instructions <= 0` (NaN compares false against everything) and poison
+// the simulation several layers down, where the failure is no longer
+// attributable to the input.
+func finite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
+}
+
 // Validate checks a normalized definition.
 func (d Definition) Validate() error {
 	if d.Name == "" {
@@ -143,22 +153,22 @@ func (d Definition) Validate() error {
 			where = fmt.Sprintf("phase %d (%s)", i, p.Name)
 		}
 		switch {
-		case p.Instructions <= 0:
-			return fmt.Errorf("%w: %s: instructions must be positive, got %g", ErrBadDefinition, where, p.Instructions)
-		case p.IPC <= 0:
-			return fmt.Errorf("%w: %s: ipc must be positive, got %g", ErrBadDefinition, where, p.IPC)
-		case p.MissPerInstr < 0:
-			return fmt.Errorf("%w: %s: miss_per_instr must be non-negative", ErrBadDefinition, where)
-		case p.RemoteFrac < 0 || p.RemoteFrac > 1:
+		case !finite(p.Instructions) || p.Instructions <= 0:
+			return fmt.Errorf("%w: %s: instructions must be positive and finite, got %g", ErrBadDefinition, where, p.Instructions)
+		case !finite(p.IPC) || p.IPC <= 0:
+			return fmt.Errorf("%w: %s: ipc must be positive and finite, got %g", ErrBadDefinition, where, p.IPC)
+		case !finite(p.MissPerInstr) || p.MissPerInstr < 0:
+			return fmt.Errorf("%w: %s: miss_per_instr must be non-negative and finite, got %g", ErrBadDefinition, where, p.MissPerInstr)
+		case !(p.RemoteFrac >= 0 && p.RemoteFrac <= 1):
 			return fmt.Errorf("%w: %s: remote_frac must lie in [0, 1], got %g", ErrBadDefinition, where, p.RemoteFrac)
-		case p.Exposure != nil && (*p.Exposure < 0 || *p.Exposure > 1):
+		case p.Exposure != nil && !(*p.Exposure >= 0 && *p.Exposure <= 1):
 			return fmt.Errorf("%w: %s: exposure must lie in [0, 1], got %g", ErrBadDefinition, where, *p.Exposure)
 		case p.ChunksPerCore < 1:
 			return fmt.Errorf("%w: %s: chunks_per_core must be positive, got %d", ErrBadDefinition, where, p.ChunksPerCore)
-		case p.JitterFrac < 0 || p.JitterFrac >= 1:
+		case !(p.JitterFrac >= 0 && p.JitterFrac < 1):
 			return fmt.Errorf("%w: %s: jitter_frac must lie in [0, 1), got %g", ErrBadDefinition, where, p.JitterFrac)
-		case p.MissJitter < 0:
-			return fmt.Errorf("%w: %s: miss_jitter must be non-negative", ErrBadDefinition, where)
+		case !finite(p.MissJitter) || p.MissJitter < 0:
+			return fmt.Errorf("%w: %s: miss_jitter must be non-negative and finite, got %g", ErrBadDefinition, where, p.MissJitter)
 		case p.Repeat < 1:
 			return fmt.Errorf("%w: %s: repeat must be positive, got %d", ErrBadDefinition, where, p.Repeat)
 		}
