@@ -17,6 +17,15 @@
 // producing byte-identical reports. -memo-dir persists snapshots across
 // restarts; -memo-max-bytes bounds the in-memory snapshot LRU.
 //
+// Observability is on by default and strictly out of band — it never
+// touches report bytes or cache keys. Every request records a span tree
+// (admission → queue wait → execute → per-region simulate → report
+// encode); -traces bounds how many recent traces are held, -trace-dir
+// additionally writes each as a Chrome trace-event JSON file. /metrics
+// serves Prometheus text. -profile adds per-worker busy wall-time to
+// each trace's simulate span; -pprof-addr serves net/http/pprof on a
+// separate listener so profiling endpoints never share the public port.
+//
 //	POST   /v1/runs          run a spec, wait for the report
 //	POST   /v1/runs?async=1  enqueue, poll GET /v1/runs/{id}
 //	GET    /v1/governors     registered strategies
@@ -24,6 +33,9 @@
 //	GET    /v1/stats         hits / misses / coalesced / queue / latency
 //	GET    /v1/cache         cache tiers (LRU entries/bytes, store path/size)
 //	DELETE /v1/cache         purge LRU + store
+//	GET    /v1/runs/{id}/trace  Chrome trace-event JSON for a spec hash
+//	GET    /v1/traces        held trace IDs
+//	GET    /metrics          Prometheus text exposition
 //	GET    /healthz          liveness
 //
 // SIGINT/SIGTERM drain gracefully: in-flight runs finish, then the
@@ -37,71 +49,127 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux for -pprof-addr
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"repro/internal/memo"
+	"repro/internal/obs"
 	"repro/internal/service"
 	"repro/internal/store"
 )
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		workers  = flag.Int("service-workers", 0, "worker fleet size (0 = GOMAXPROCS)")
-		queue    = flag.Int("queue", 0, "job queue depth before 429 rejection (0 = 16)")
-		cache    = flag.Int("cache", 0, "result cache entries (0 = 256)")
-		storeDir = flag.String("store", "", "persistent result store directory (empty = memory only); survives restarts and may be shared between instances")
-		storeMax = flag.Int64("store-max-bytes", 0, "prune the store oldest-first past this many payload bytes (0 = unbounded)")
-		useMemo  = flag.Bool("memo", false, "enable the prefix-snapshot memo tier: executions resume from the longest memoized prefix of their region schedule")
-		memoDir  = flag.String("memo-dir", "", "persistent snapshot directory below the memo LRU (empty = memory only); implies -memo")
-		memoMax  = flag.Int64("memo-max-bytes", 0, "memo LRU byte budget (0 = 64 MiB)")
-		grace    = flag.Duration("grace", 30*time.Second, "graceful shutdown deadline")
+		addr      = flag.String("addr", ":8080", "listen address")
+		workers   = flag.Int("service-workers", 0, "worker fleet size (0 = GOMAXPROCS)")
+		queue     = flag.Int("queue", 0, "job queue depth before 429 rejection (0 = 16)")
+		cache     = flag.Int("cache", 0, "result cache entries (0 = 256)")
+		storeDir  = flag.String("store", "", "persistent result store directory (empty = memory only); survives restarts and may be shared between instances")
+		storeMax  = flag.Int64("store-max-bytes", 0, "prune the store oldest-first past this many payload bytes (0 = unbounded)")
+		useMemo   = flag.Bool("memo", false, "enable the prefix-snapshot memo tier: executions resume from the longest memoized prefix of their region schedule")
+		memoDir   = flag.String("memo-dir", "", "persistent snapshot directory below the memo LRU (empty = memory only); implies -memo")
+		memoMax   = flag.Int64("memo-max-bytes", 0, "memo LRU byte budget (0 = 64 MiB)")
+		traces    = flag.Int("traces", 64, "recent run traces to hold for GET /v1/runs/{id}/trace (0 disables tracing)")
+		traceDir  = flag.String("trace-dir", "", "also write each trace as Chrome trace-event JSON under this directory")
+		profile   = flag.Bool("profile", false, "record per-phase and per-worker wall time into each trace's simulate span")
+		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = off)")
+		grace     = flag.Duration("grace", 30*time.Second, "graceful shutdown deadline")
 	)
 	flag.Parse()
-	if err := run(*addr, *workers, *queue, *cache, *storeDir, *storeMax, *useMemo, *memoDir, *memoMax, *grace); err != nil {
+	if err := run(runConfig{
+		addr: *addr, workers: *workers, queue: *queue, cache: *cache,
+		storeDir: *storeDir, storeMax: *storeMax,
+		useMemo: *useMemo, memoDir: *memoDir, memoMax: *memoMax,
+		traces: *traces, traceDir: *traceDir, profile: *profile,
+		pprofAddr: *pprofAddr, grace: *grace,
+	}); err != nil {
 		fmt.Fprintf(os.Stderr, "cfserve: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, workers, queue, cache int, storeDir string, storeMax int64, useMemo bool, memoDir string, memoMax int64, grace time.Duration) error {
+// runConfig carries the parsed flags; a struct rather than a positional
+// list so adding a knob cannot silently swap two same-typed arguments.
+type runConfig struct {
+	addr      string
+	workers   int
+	queue     int
+	cache     int
+	storeDir  string
+	storeMax  int64
+	useMemo   bool
+	memoDir   string
+	memoMax   int64
+	traces    int
+	traceDir  string
+	profile   bool
+	pprofAddr string
+	grace     time.Duration
+}
+
+func run(rc runConfig) error {
 	// Engine knobs (sim_workers, batch_quanta) travel inside each spec —
 	// they are part of the content hash, so the server never rewrites
 	// them behind the cache key's back.
-	cfg := service.Config{Workers: workers, QueueDepth: queue, CacheEntries: cache}
-	if storeDir != "" {
-		st, err := store.Open(storeDir, storeMax)
+	cfg := service.Config{Workers: rc.workers, QueueDepth: rc.queue, CacheEntries: rc.cache,
+		Metrics: obs.NewRegistry(), Profile: rc.profile}
+	if rc.traces > 0 || rc.traceDir != "" {
+		n := rc.traces
+		if n <= 0 {
+			n = 64
+		}
+		cfg.Traces = obs.NewTraceStore(n, rc.traceDir)
+		if rc.traceDir != "" {
+			if err := os.MkdirAll(rc.traceDir, 0o755); err != nil {
+				return err
+			}
+			log.Printf("cfserve: writing Chrome traces to %s", rc.traceDir)
+		}
+	}
+	if rc.storeDir != "" {
+		st, err := store.Open(rc.storeDir, rc.storeMax)
 		if err != nil {
 			return err
 		}
-		log.Printf("cfserve: store %s: %d entries, %d bytes", storeDir, st.Len(), st.Bytes())
+		log.Printf("cfserve: store %s: %d entries, %d bytes", rc.storeDir, st.Len(), st.Bytes())
 		cfg.Store = st
 	}
-	if useMemo || memoDir != "" {
+	if rc.useMemo || rc.memoDir != "" {
 		var disk *store.Store
-		if memoDir != "" {
+		if rc.memoDir != "" {
 			var err error
-			if disk, err = store.Open(memoDir, 0); err != nil {
+			if disk, err = store.Open(rc.memoDir, 0); err != nil {
 				return err
 			}
-			log.Printf("cfserve: memo dir %s: %d snapshot(s), %d bytes", memoDir, disk.Len(), disk.Bytes())
+			log.Printf("cfserve: memo dir %s: %d snapshot(s), %d bytes", rc.memoDir, disk.Len(), disk.Bytes())
 		}
-		cfg.Memo = memo.New(memoMax, disk)
+		cfg.Memo = memo.New(rc.memoMax, disk)
 		log.Printf("cfserve: prefix-snapshot memoization on")
 	}
 	svc := service.New(cfg)
 	defer svc.Close()
 
-	srv := &http.Server{Addr: addr, Handler: logRequests(service.NewHandler(svc))}
+	if rc.pprofAddr != "" {
+		// net/http/pprof registers on http.DefaultServeMux; serving that
+		// mux on its own listener keeps profiling off the public port.
+		go func() {
+			log.Printf("cfserve: pprof on %s", rc.pprofAddr)
+			if err := http.ListenAndServe(rc.pprofAddr, nil); err != nil {
+				log.Printf("cfserve: pprof server: %v", err)
+			}
+		}()
+	}
+
+	srv := &http.Server{Addr: rc.addr, Handler: logRequests(service.NewHandler(svc))}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("cfserve: listening on %s", addr)
+		log.Printf("cfserve: listening on %s", rc.addr)
 		errc <- srv.ListenAndServe()
 	}()
 
@@ -110,8 +178,8 @@ func run(addr string, workers, queue, cache int, storeDir string, storeMax int64
 		return err
 	case <-ctx.Done():
 	}
-	log.Printf("cfserve: shutting down (grace %s)", grace)
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), grace)
+	log.Printf("cfserve: shutting down (grace %s)", rc.grace)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), rc.grace)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {
 		return err

@@ -30,6 +30,7 @@ import (
 	"repro/internal/fuzz"
 	"repro/internal/governor"
 	"repro/internal/memo"
+	"repro/internal/obs"
 	"repro/internal/orchestrator"
 	"repro/internal/report"
 	"repro/internal/scenario"
@@ -47,6 +48,8 @@ var (
 	memoFlag     = false
 	memoDir      = ""
 	memoMaxBytes = int64(0)
+	traceOut     = ""
+	profileFlag  = false
 	backends     stringList
 	listGov      bool
 	listScen     bool
@@ -100,6 +103,8 @@ func newFlagSet(opt *experiments.Options) *flag.FlagSet {
 	fs.BoolVar(&memoFlag, "memo", memoFlag, "enable prefix-snapshot memoization for in-process runs: shared schedule prefixes simulate once and resume")
 	fs.StringVar(&memoDir, "memo-dir", memoDir, "persistent snapshot directory below the memo LRU (implies -memo; survives invocations)")
 	fs.Int64Var(&memoMaxBytes, "memo-max-bytes", memoMaxBytes, "memo LRU byte budget (0 = 64 MiB)")
+	fs.StringVar(&traceOut, "trace-out", traceOut, "write the in-process run's span trace as Chrome trace-event JSON to this file (implies -profile)")
+	fs.BoolVar(&profileFlag, "profile", profileFlag, "record per-phase and per-worker wall time into the trace's simulate spans")
 	fs.BoolVar(&listGov, "list-governors", false, "list registered governors and exit")
 	fs.BoolVar(&listScen, "list-scenarios", false, "list registered workloads (benchmarks and scenarios) and exit")
 	fs.IntVar(&fuzzN, "n", fuzzN, "scenarios the fuzz subcommand generates before hash-dedup")
@@ -230,6 +235,12 @@ committed snapshot (new findings or regressions exit 1);
   cuttlefish fuzz -n 50 -seed 7 -baseline internal/fuzz/testdata/baseline-n50-seed7.json
   cuttlefish fuzz -replay internal/fuzz/testdata/corpus
 
+-trace-out records the in-process run as a span tree — per-repetition
+lanes, per-region simulate spans, per-worker busy time — and writes it
+as Chrome trace-event JSON (open at chrome://tracing or
+ui.perfetto.dev). Tracing never changes report bytes:
+  cuttlefish run -bench bursty -trace-out trace.json
+
 -memo adds a second cache tier for in-process execution: phase-boundary
 machine snapshots keyed by schedule prefix, so a run whose schedule
 shares a prefix with an earlier one (a re-run, or a scenario with a
@@ -306,11 +317,51 @@ func run(name string, opt experiments.Options, format string) error {
 			}
 		}()
 	}
+	var tr *obs.Trace
+	if traceOut != "" {
+		if name == "all" {
+			return fmt.Errorf("-trace-out traces one experiment at a time, not %q", name)
+		}
+		// The trace ID is the spec's content hash — the same ID cfserve
+		// would assign this run — so a file traced locally and one fetched
+		// from GET /v1/runs/{id}/trace name the same execution.
+		tr = obs.NewTrace(service.SpecFromOptions(name, benchName, opt).Hash())
+		opt.Span = tr.Root()
+		opt.Profile = true
+	}
+	opt.Profile = opt.Profile || profileFlag
 	rep, err := build(name, opt)
+	if tr != nil {
+		if err != nil {
+			tr.Root().Set("error", err.Error())
+		}
+		tr.Root().End()
+		if werr := writeTrace(tr, traceOut); werr != nil && err == nil {
+			err = werr
+		}
+	}
 	if err != nil {
 		return err
 	}
 	return rep.Write(os.Stdout, format)
+}
+
+// writeTrace dumps the completed trace as Chrome trace-event JSON
+// (load it at chrome://tracing or ui.perfetto.dev).
+func writeTrace(tr *obs.Trace, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteChrome(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "cuttlefish: trace written to %s\n", path)
+	return nil
 }
 
 // buildMemoTier constructs the prefix-snapshot tier the -memo flags ask

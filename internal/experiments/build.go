@@ -186,7 +186,14 @@ func RunOneReport(benchName string, opt Options) (*report.RunReport, error) {
 	}
 	results := make([]RunResult, reps)
 	err = forEach(reps, opt, func(r int) error {
-		res, err := RunEntry(entry, gov, opt, opt.Seed+int64(r))
+		ropt := opt
+		// Each repetition records under its own span lane; the index-bearing
+		// name keeps span IDs deterministic under concurrent creation.
+		sp := opt.Span.ChildLane(fmt.Sprintf("rep-%d", r), r+1)
+		sp.Set("seed", opt.Seed+int64(r))
+		ropt.Span = sp
+		res, err := RunEntry(entry, gov, ropt, opt.Seed+int64(r))
+		sp.End()
 		results[r] = res
 		return err
 	})

@@ -23,6 +23,7 @@ import (
 	"repro/internal/governor"
 	"repro/internal/machine"
 	"repro/internal/memo"
+	"repro/internal/obs"
 	"repro/internal/runner"
 	"repro/internal/scenario"
 	"repro/internal/stats"
@@ -85,6 +86,14 @@ type Options struct {
 	// (runs, prefix hits, quanta saved); the service layer surfaces it as
 	// the X-Memo response detail.
 	MemoStats *memo.RunStats
+	// Span is the parent trace span this run records under; nil disables
+	// tracing. Like Memo it is runtime wiring, never part of a run's
+	// identity: spans live strictly outside report bytes and cache keys.
+	Span *obs.Span
+	// Profile enables the engine's wall-clock self-accounting
+	// (machine.Config.Profile); results are bit-identical either way, and
+	// the numbers surface as span arguments when Span is set.
+	Profile bool
 }
 
 // pool returns the shared bounded-concurrency pool every harness fans its
@@ -98,6 +107,7 @@ func (o Options) machineConfig() machine.Config {
 	cfg.Cores = o.Cores
 	cfg.Workers = o.SimWorkers
 	cfg.BatchQuanta = o.BatchQuanta
+	cfg.Profile = o.Profile
 	return cfg
 }
 
@@ -218,7 +228,10 @@ func runSource(name string, nominalSec float64, build func(cores int) (workload.
 	}
 	m.SetSource(src)
 	maxSim := nominalSec*opt.Scale*6 + opt.WarmupSec + 30
-	sec := m.Run(maxSim)
+	sp := opt.Span.Child("simulate")
+	sp.Set("workload", name)
+	sec := simulate(m, maxSim, sp)
+	finishSpan(sp, m, sec)
 	if !m.Finished() {
 		return RunResult{}, fmt.Errorf("experiments: %s/%s did not finish in %.0f simulated seconds", name, g.Name(), maxSim)
 	}
@@ -234,6 +247,52 @@ func runSource(name string, nominalSec float64, build func(cores int) (workload.
 		AvgUncoreGHz: m.AvgUncoreGHz(),
 		Daemon:       att.Daemon(),
 	}, nil
+}
+
+// maxRegionSpans caps per-region trace spans for one simulation: past a
+// few dozen the Chrome timeline stops being readable and the span list
+// stops being cheap.
+const maxRegionSpans = 64
+
+// simulate runs m to completion. With a trace span it drives the machine
+// through RunBoundaries, recording one child span per region stretch (up
+// to maxRegionSpans) — span names carry the boundary index, so the trace
+// structure is a pure function of the workload's region schedule. Sources
+// that count no boundaries (or a nil span) take the plain Run path with
+// identical simulated results.
+func simulate(m *machine.Machine, maxSim float64, sp *obs.Span) float64 {
+	if sp == nil {
+		return m.Run(maxSim)
+	}
+	cur := sp.Child("region-0")
+	count := 0
+	sec := m.RunBoundaries(maxSim, func(n int) bool {
+		cur.Set("end_boundary", n)
+		cur.End()
+		count++
+		if count >= maxRegionSpans {
+			cur = nil
+			return false
+		}
+		cur = sp.Child(fmt.Sprintf("region-%d", n))
+		return true
+	})
+	cur.End()
+	return sec
+}
+
+// finishSpan closes a simulate span, attaching the simulated time and —
+// when the machine was built with Profile — the engine's wall-clock
+// accounting (per-phase simulated vs wall time, per-worker busy/idle).
+func finishSpan(sp *obs.Span, m *machine.Machine, simSec float64) {
+	if sp == nil {
+		return
+	}
+	sp.Set("sim_seconds", simSec)
+	if p := m.Profile(); p.Enabled {
+		sp.Set("profile", p)
+	}
+	sp.End()
 }
 
 // forEach fans n independent simulations out on the shared runner pool.

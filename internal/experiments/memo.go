@@ -36,6 +36,10 @@ const memoContainerMagic = "cfmemo1\n"
 func prefixKeys(cfg machine.Config, govName string, t governor.Tuning, seed int64, maxSim float64, regions []sched.Region) ([]string, error) {
 	keyCfg := cfg
 	keyCfg.Workers = 0
+	// Profile, like Workers, is pure wall-clock instrumentation with no
+	// effect on simulated state: snapshots are shareable across profiled
+	// and unprofiled runs, so it must not fork the key chain.
+	keyCfg.Profile = false
 	cfgJSON, err := json.Marshal(keyCfg)
 	if err != nil {
 		return nil, err
@@ -218,6 +222,7 @@ func memoRun(e scenario.Entry, g governor.Governor, opt Options, seed int64) (re
 	// common warm cases (identical re-run, extended program) hit on the
 	// first few probes; a cold run walks the chain once against an
 	// in-memory map.
+	probe := opt.Span.Child("memo_probe")
 	resumeK := 0
 	var container []byte
 	for k := total; k >= 1; k-- {
@@ -226,6 +231,9 @@ func memoRun(e scenario.Entry, g governor.Governor, opt Options, seed int64) (re
 			break
 		}
 	}
+	probe.Set("resume_k", resumeK)
+	probe.Set("total_regions", total)
+	probe.End()
 
 	// execute boots a machine, optionally restores the container's
 	// boundary state, and simulates to completion, snapshotting the
@@ -244,6 +252,7 @@ func memoRun(e scenario.Entry, g governor.Governor, opt Options, seed int64) (re
 		defer att.Detach()
 		var ws *sched.WorkSharing
 		if container != nil {
+			restore := opt.Span.Child("memo_restore")
 			msnap, govBlob, cp, err := decodeContainer(container)
 			if err != nil {
 				return RunResult{}, 0, 0, err
@@ -262,12 +271,16 @@ func memoRun(e scenario.Entry, g governor.Governor, opt Options, seed int64) (re
 				return RunResult{}, 0, 0, err
 			}
 			ws = sched.NewWorkSharingAt(cfg.Cores, gen, seed, cp)
+			restore.Set("from_k", fromK)
+			restore.End()
 		} else {
 			ws = sched.NewWorkSharing(cfg.Cores, gen, seed)
 		}
 		m.SetSource(ws)
 		resumeNow := m.Now()
 		stored := 0
+		sim := opt.Span.Child("simulate")
+		sim.Set("resume_sim_seconds", resumeNow)
 		m.RunBoundaries(maxSim-resumeNow, func(n int) bool {
 			if !points[n] {
 				return true
@@ -284,6 +297,8 @@ func memoRun(e scenario.Entry, g governor.Governor, opt Options, seed int64) (re
 			stored++
 			return true
 		})
+		sim.Set("snapshots_stored", stored)
+		finishSpan(sim, m, m.Now()-resumeNow)
 		if !m.Finished() {
 			return RunResult{}, resumeNow, stored, fmt.Errorf("experiments: %s/%s did not finish in %.0f simulated seconds", e.Name, g.Name(), maxSim)
 		}

@@ -40,6 +40,11 @@ type Config struct {
 	// (run to the next event), which is the fast default; 1 reproduces
 	// quantum-at-a-time stepping.
 	BatchQuanta int
+	// Profile enables wall-clock self-accounting: per-worker busy time and
+	// per-batch dispatch wall time, read through Machine.Profile. It adds
+	// two clock reads per worker per quantum and never affects simulated
+	// state — results are bit-identical with it on or off.
+	Profile bool
 }
 
 // DefaultConfig returns the paper's machine: a 20-core Haswell-class socket,

@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/freq"
 	"repro/internal/perfmon"
@@ -59,6 +60,13 @@ type engine struct {
 	accum                        []quantumDelta // per-core totals over the batch
 	retired                      []float64      // reusable PMU batch-update buffer
 
+	// Wall-clock self-accounting (Config.Profile). profBusy[w] is cumulative
+	// nanoseconds worker w spent stepping cores (not barrier waits). Workers
+	// write their own slot during a batch; the Machine reads between batches,
+	// after wg.Wait establishes the ordering.
+	profile  bool
+	profBusy []int64
+
 	// Persistent worker pool (spawned lazily on the first parallel batch).
 	workers    int
 	shards     [][2]int
@@ -112,7 +120,9 @@ func newEngine(cfg Config, pmu *perfmon.PMU, rapl *power.Rapl) *engine {
 		accum:   make([]quantumDelta, cfg.Cores),
 		retired: make([]float64, cfg.Cores),
 		workers: workers,
+		profile: cfg.Profile,
 	}
+	e.profBusy = make([]int64, workers)
 	e.shards = make([][2]int, workers)
 	for w := 0; w < workers; w++ {
 		e.shards[w] = [2]int{w * cfg.Cores / workers, (w + 1) * cfg.Cores / workers}
@@ -125,8 +135,15 @@ func (e *engine) run() {
 	if e.workers <= 1 || e.closed() {
 		for !e.batchOver {
 			first := e.quantum == 0
+			var t0 time.Time
+			if e.profile {
+				t0 = time.Now()
+			}
 			for i := range e.runs {
 				e.stepCoreFree(i, first, &e.deltas[i])
+			}
+			if e.profile {
+				e.profBusy[0] += time.Since(t0).Nanoseconds()
 			}
 			e.reduce()
 		}
@@ -151,8 +168,15 @@ func (e *engine) runShard(w int) {
 	lo, hi := e.shards[w][0], e.shards[w][1]
 	for {
 		first := e.quantum == 0
+		var t0 time.Time
+		if e.profile {
+			t0 = time.Now()
+		}
 		for i := lo; i < hi; i++ {
 			e.stepCoreFree(i, first, &e.deltas[i])
+		}
+		if e.profile {
+			e.profBusy[w] += time.Since(t0).Nanoseconds()
 		}
 		e.bar.await(e.reduce)
 		if e.batchOver {

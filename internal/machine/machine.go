@@ -21,6 +21,7 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/freq"
 	"repro/internal/msr"
@@ -95,7 +96,47 @@ type Machine struct {
 	totalMissR    float64
 	uncoreGHzSecs float64 // ∫ uncore frequency dt, for time-weighted averages
 
+	// wall-clock self-accounting, populated only when cfg.Profile is set
+	profWallNs int64
+	profBatch  int64
+	profQuanta int64
+
 	dueBuf []*Component // reusable due-component buffer
+}
+
+// Profile is the engine's wall-clock self-accounting: how long batch
+// dispatches took and how much of that each worker spent actually stepping
+// cores (the remainder is barrier wait plus snapshot/commit — the
+// parallelization overhead). All fields are zero unless Config.Profile.
+type Profile struct {
+	Enabled bool `json:"enabled"`
+	// RunWallNs is total wall time inside batch dispatch (snapshot, step,
+	// commit) since boot.
+	RunWallNs int64 `json:"run_wall_ns"`
+	// Batches and Quanta count engine dispatches and simulated quanta.
+	Batches int64 `json:"batches"`
+	Quanta  int64 `json:"quanta"`
+	// WorkerBusyNs[w] is wall time worker w spent stepping its core shard;
+	// RunWallNs - WorkerBusyNs[w] is that worker's idle (wait) time.
+	WorkerBusyNs []int64 `json:"worker_busy_ns"`
+}
+
+// Profile returns the accumulated wall-clock accounting. Zero-valued (with
+// Enabled false) unless the machine was built with Config.Profile.
+func (m *Machine) Profile() Profile {
+	if !m.cfg.Profile {
+		return Profile{}
+	}
+	m.mu.Lock()
+	p := Profile{
+		Enabled:      true,
+		RunWallNs:    m.profWallNs,
+		Batches:      m.profBatch,
+		Quanta:       m.profQuanta,
+		WorkerBusyNs: append([]int64(nil), m.engine.profBusy...),
+	}
+	m.mu.Unlock()
+	return p
 }
 
 // UncoreFirmware decides the uncore operating point each millisecond when
@@ -471,6 +512,10 @@ func (m *Machine) Step() {
 // stepping sound.
 func (m *Machine) runBatch(quanta int) {
 	e := m.engine
+	var profT0 time.Time
+	if m.cfg.Profile {
+		profT0 = time.Now()
+	}
 	m.mu.Lock()
 	for i := range m.cores {
 		c := &m.cores[i]
@@ -540,6 +585,11 @@ func (m *Machine) runBatch(quanta int) {
 	m.totalMissL += e.totMissL
 	m.totalMissR += e.totMissR
 	m.uncoreGHzSecs += e.uncoreGHzSecs
+	if m.cfg.Profile {
+		m.profWallNs += time.Since(profT0).Nanoseconds()
+		m.profBatch++
+		m.profQuanta += int64(e.quantum)
+	}
 	m.mu.Unlock()
 
 	// Counter hardware is only observed at batch boundaries (components and

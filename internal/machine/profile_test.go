@@ -1,0 +1,71 @@
+package machine
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// profiledRun executes a short workload with Profile on or off and returns
+// the exact totals plus the profile.
+func profiledRun(t *testing.T, workers int, profile bool) (instr, joules float64, p Profile) {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Cores = 8
+	cfg.Workers = workers
+	cfg.Profile = profile
+	m := MustNew(cfg)
+	defer m.Close()
+	m.SetSource(newLaneSource(cfg.Cores, 10, workload.Segment{Instructions: 2e6, MissPerInstr: 0.02, IPC: 2}))
+	m.Run(30)
+	if !m.Finished() {
+		t.Fatal("workload did not finish")
+	}
+	return m.TotalInstructions(), m.TotalEnergy(), m.Profile()
+}
+
+// TestProfileAccounting: with Profile on, the machine reports batch counts,
+// quanta and per-worker busy time; busy time never exceeds total dispatch
+// wall time.
+func TestProfileAccounting(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		_, _, p := profiledRun(t, workers, true)
+		if !p.Enabled {
+			t.Fatalf("workers=%d: profile not enabled", workers)
+		}
+		if p.Batches <= 0 || p.Quanta <= 0 || p.RunWallNs <= 0 {
+			t.Errorf("workers=%d: empty accounting %+v", workers, p)
+		}
+		want := workers
+		if workers > 8 {
+			want = 8
+		}
+		if len(p.WorkerBusyNs) != want {
+			t.Fatalf("workers=%d: %d busy slots, want %d", workers, len(p.WorkerBusyNs), want)
+		}
+		for w, busy := range p.WorkerBusyNs {
+			if busy <= 0 {
+				t.Errorf("workers=%d: worker %d recorded no busy time", workers, w)
+			}
+			if busy > p.RunWallNs {
+				t.Errorf("workers=%d: worker %d busy %d ns exceeds wall %d ns", workers, w, busy, p.RunWallNs)
+			}
+		}
+	}
+}
+
+// TestProfileDoesNotPerturbResults is the determinism-boundary contract at
+// the engine layer: profiling must leave simulated state bit-identical.
+func TestProfileDoesNotPerturbResults(t *testing.T) {
+	refInstr, refJoules, refP := profiledRun(t, 1, false)
+	if refP.Enabled || refP.RunWallNs != 0 || refP.WorkerBusyNs != nil {
+		t.Fatalf("profile off must report a zero Profile, got %+v", refP)
+	}
+	for _, workers := range []int{1, 4} {
+		instr, joules, _ := profiledRun(t, workers, true)
+		if instr != refInstr || joules != refJoules {
+			t.Errorf("workers=%d profiled run diverged: instr %v vs %v, joules %v vs %v",
+				workers, instr, refInstr, joules, refJoules)
+		}
+	}
+}

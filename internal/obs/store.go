@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// TraceStore keeps the most recent traces in a bounded ring, keyed by
+// trace ID (the spec content hash), and optionally mirrors each saved
+// trace to a directory as Chrome trace-event JSON. A nil *TraceStore is a
+// no-op, so the service can run untraced through the same code path.
+type TraceStore struct {
+	mu   sync.Mutex
+	cap  int
+	dir  string
+	ring []*Trace          // oldest first
+	byID map[string]*Trace // latest trace per ID wins
+}
+
+// NewTraceStore returns a store keeping up to capacity traces (minimum 1).
+// If dir is non-empty each saved trace is also written to
+// dir/trace-<id12>.json, latest save winning.
+func NewTraceStore(capacity int, dir string) *TraceStore {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &TraceStore{cap: capacity, dir: dir, byID: make(map[string]*Trace)}
+}
+
+// Save records t as the latest trace for its ID and, when the store has a
+// directory, writes the Chrome-format file. The write error (if any) is
+// returned but the in-memory save always succeeds.
+func (s *TraceStore) Save(t *Trace) error {
+	if s == nil || t == nil {
+		return nil
+	}
+	id := t.ID()
+	s.mu.Lock()
+	s.ring = append(s.ring, t)
+	if len(s.ring) > s.cap {
+		evict := s.ring[0]
+		s.ring = s.ring[1:]
+		if s.byID[evict.ID()] == evict {
+			delete(s.byID, evict.ID())
+		}
+	}
+	if id != "" {
+		s.byID[id] = t
+	}
+	dir := s.dir
+	s.mu.Unlock()
+
+	if dir == "" || id == "" {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("trace dir: %w", err)
+	}
+	short := id
+	if len(short) > 12 {
+		short = short[:12]
+	}
+	path := filepath.Join(dir, "trace-"+short+".json")
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trace file: %w", err)
+	}
+	if err := t.WriteChrome(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Get returns the latest trace whose ID matches id exactly or has id as a
+// prefix (the API accepts the same short hashes as /v1/runs/{id}).
+func (s *TraceStore) Get(id string) (*Trace, bool) {
+	if s == nil || id == "" {
+		return nil, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t, ok := s.byID[id]; ok {
+		return t, true
+	}
+	// Prefix match, newest first.
+	for i := len(s.ring) - 1; i >= 0; i-- {
+		if strings.HasPrefix(s.ring[i].ID(), id) {
+			return s.ring[i], true
+		}
+	}
+	return nil, false
+}
+
+// IDs returns the distinct trace IDs currently held, sorted.
+func (s *TraceStore) IDs() []string {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ids := make([]string, 0, len(s.byID))
+	for id := range s.byID {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Len returns the number of traces in the ring.
+func (s *TraceStore) Len() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.ring)
+}

@@ -1,0 +1,297 @@
+// Package obs is the unified observability layer: span-based run tracing
+// (exportable as Chrome trace-event JSON), a Prometheus-style metrics
+// registry, and the in-memory trace store behind cfserve's
+// GET /v1/runs/{id}/trace.
+//
+// The one inviolable rule of this package is the determinism boundary:
+// nothing here may ever touch canonical report bytes, cache keys or memo
+// keys. Traces and metrics describe *how* a run was served — wall-clock
+// durations, cache outcomes, worker utilization — while the report bytes
+// stay a pure function of the spec. Span *structure* (IDs, parent links,
+// names) is itself deterministic: a span's ID is a hash of its path from
+// the root, so two traces of the same spec have identical shapes and only
+// their timestamps differ.
+package obs
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Trace is one request's span tree. Create with NewTrace, grow with
+// Span.Child, export with WriteChrome or Export. Safe for concurrent use:
+// repetitions of one run record sibling spans from pool workers.
+type Trace struct {
+	mu    sync.Mutex
+	id    string
+	base  time.Time
+	spans []*Span
+	root  *Span
+}
+
+// NewTrace starts a trace. id is the spec's content hash when known; it
+// can be set later with SetID (the service learns the hash only after
+// normalizing the spec).
+func NewTrace(id string) *Trace {
+	t := &Trace{id: id, base: time.Now()}
+	t.root = t.newSpan(nil, "request", 0)
+	return t
+}
+
+// SetID names the trace once the spec hash is known.
+func (t *Trace) SetID(id string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.id = id
+	t.mu.Unlock()
+}
+
+// ID returns the trace's identity (the spec content hash).
+func (t *Trace) ID() string {
+	if t == nil {
+		return ""
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.id
+}
+
+// Root returns the trace's root span; nil receiver returns nil, so a
+// disabled trace threads through call sites as a no-op.
+func (t *Trace) Root() *Span {
+	if t == nil {
+		return nil
+	}
+	return t.root
+}
+
+// Span is one timed operation in a trace. All methods are nil-safe: code
+// instruments unconditionally and a nil span swallows everything, so the
+// traced and untraced code paths are the same path.
+type Span struct {
+	t      *Trace
+	id     string
+	parent string
+	name   string
+	tid    int
+
+	start time.Time
+	mu    sync.Mutex
+	durNs int64
+	ended bool
+	args  map[string]any
+}
+
+// spanID derives a span's ID from its path: parent ID and name. Sibling
+// names are unique by construction (indices are part of the name, e.g.
+// "rep-3", "region-17"), so the tree's IDs are a deterministic function
+// of its structure — wall time never leaks in.
+func spanID(parent, name string) string {
+	sum := sha256.Sum256([]byte(parent + "\x00" + name))
+	return hex.EncodeToString(sum[:8])
+}
+
+func (t *Trace) newSpan(parent *Span, name string, tid int) *Span {
+	pid := ""
+	if parent != nil {
+		pid = parent.id
+	}
+	s := &Span{t: t, id: spanID(pid, name), parent: pid, name: name, tid: tid, start: time.Now()}
+	t.mu.Lock()
+	t.spans = append(t.spans, s)
+	t.mu.Unlock()
+	return s
+}
+
+// Child opens a sub-span on the parent's lane. Nil-safe.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.t.newSpan(s, name, s.tid)
+}
+
+// ChildLane opens a sub-span on its own lane (Chrome renders each lane as
+// one tid row — concurrent repetitions each get a lane). Nil-safe.
+func (s *Span) ChildLane(name string, lane int) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.t.newSpan(s, name, lane)
+}
+
+// Set attaches one argument (string, numeric or bool) to the span.
+// Nil-safe.
+func (s *Span) Set(key string, value any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.args == nil {
+		s.args = make(map[string]any)
+	}
+	s.args[key] = value
+	s.mu.Unlock()
+}
+
+// End closes the span. Idempotent and nil-safe; an unended span exports
+// with the duration it had reached when the trace was exported.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.ended {
+		s.ended = true
+		s.durNs = time.Since(s.start).Nanoseconds()
+	}
+	s.mu.Unlock()
+}
+
+// SpanExport is one span in the structural JSON export.
+type SpanExport struct {
+	ID      string         `json:"id"`
+	Parent  string         `json:"parent,omitempty"`
+	Name    string         `json:"name"`
+	Lane    int            `json:"lane"`
+	StartNs int64          `json:"start_ns"` // relative to the trace start
+	DurNs   int64          `json:"dur_ns"`
+	Args    map[string]any `json:"args,omitempty"`
+}
+
+// TraceExport is the structural JSON form of a trace: the span tree with
+// deterministic IDs and wall-clock timings.
+type TraceExport struct {
+	TraceID string       `json:"trace_id"`
+	Spans   []SpanExport `json:"spans"`
+}
+
+// snapshotLocked copies the span list; callers hold t.mu.
+func (t *Trace) snapshot() (id string, spans []*Span, base time.Time) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.id, append([]*Span(nil), t.spans...), t.base
+}
+
+func (s *Span) export(base time.Time) SpanExport {
+	s.mu.Lock()
+	dur := s.durNs
+	if !s.ended {
+		dur = time.Since(s.start).Nanoseconds()
+	}
+	var args map[string]any
+	if len(s.args) > 0 {
+		args = make(map[string]any, len(s.args))
+		for k, v := range s.args {
+			args[k] = v
+		}
+	}
+	s.mu.Unlock()
+	return SpanExport{
+		ID:      s.id,
+		Parent:  s.parent,
+		Name:    s.name,
+		Lane:    s.tid,
+		StartNs: s.start.Sub(base).Nanoseconds(),
+		DurNs:   dur,
+		Args:    args,
+	}
+}
+
+// Export returns the structural form. Spans are ordered by (lane, start),
+// so the layout is stable for equal structures.
+func (t *Trace) Export() TraceExport {
+	id, spans, base := t.snapshot()
+	out := TraceExport{TraceID: id, Spans: make([]SpanExport, 0, len(spans))}
+	for _, s := range spans {
+		out.Spans = append(out.Spans, s.export(base))
+	}
+	sort.SliceStable(out.Spans, func(i, j int) bool {
+		if out.Spans[i].Lane != out.Spans[j].Lane {
+			return out.Spans[i].Lane < out.Spans[j].Lane
+		}
+		return out.Spans[i].StartNs < out.Spans[j].StartNs
+	})
+	return out
+}
+
+// chromeEvent is one Chrome trace-event ("X" = complete event with
+// duration). Timestamps and durations are microseconds, per the format.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the JSON-object flavor of the trace-event format, which
+// chrome://tracing and Perfetto both load.
+type chromeTrace struct {
+	TraceEvents []chromeEvent     `json:"traceEvents"`
+	Metadata    map[string]string `json:"metadata,omitempty"`
+}
+
+// WriteChrome writes the trace in Chrome trace-event format: open the
+// file at chrome://tracing or https://ui.perfetto.dev.
+func (t *Trace) WriteChrome(w io.Writer) error {
+	id, spans, base := t.snapshot()
+	ct := chromeTrace{
+		TraceEvents: make([]chromeEvent, 0, len(spans)),
+		Metadata:    map[string]string{"trace_id": id},
+	}
+	for _, s := range spans {
+		e := s.export(base)
+		args := e.Args
+		if args == nil {
+			args = map[string]any{}
+		}
+		args["span_id"] = e.ID
+		ct.TraceEvents = append(ct.TraceEvents, chromeEvent{
+			Name: e.Name,
+			Cat:  "run",
+			Ph:   "X",
+			Ts:   float64(e.StartNs) / 1e3,
+			Dur:  float64(e.DurNs) / 1e3,
+			Pid:  1,
+			Tid:  e.Lane,
+			Args: args,
+		})
+	}
+	sort.SliceStable(ct.TraceEvents, func(i, j int) bool {
+		if ct.TraceEvents[i].Tid != ct.TraceEvents[j].Tid {
+			return ct.TraceEvents[i].Tid < ct.TraceEvents[j].Tid
+		}
+		return ct.TraceEvents[i].Ts < ct.TraceEvents[j].Ts
+	})
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(ct)
+}
+
+// MarshalJSON exports the structural form, so a *Trace drops into any
+// JSON envelope.
+func (t *Trace) MarshalJSON() ([]byte, error) {
+	return json.Marshal(t.Export())
+}
+
+var _ fmt.Stringer = (*Span)(nil)
+
+// String identifies a span in logs.
+func (s *Span) String() string {
+	if s == nil {
+		return "<nil span>"
+	}
+	return s.name + "#" + s.id
+}

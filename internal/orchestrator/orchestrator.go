@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/memo"
 	"repro/internal/service"
+	"repro/internal/stats"
 )
 
 // Config tunes a sweep run.
@@ -76,10 +77,17 @@ type SpecResult struct {
 	Err error
 }
 
-// BackendStats is one backend's tally over a sweep.
+// BackendStats is one backend's tally over a sweep: dispatch counts,
+// failure/retry/quarantine counts, and attempt-latency percentiles
+// (log-bucket upper bounds, milliseconds) from the backend's lifetime
+// latency histogram.
 type BackendStats struct {
-	Runs     int `json:"runs"`
-	Failures int `json:"failures"`
+	Runs        int     `json:"runs"`
+	Failures    int     `json:"failures"`
+	Retries     int     `json:"retries,omitempty"`
+	Quarantines int     `json:"quarantines,omitempty"`
+	P50Ms       float64 `json:"p50_ms,omitempty"`
+	P95Ms       float64 `json:"p95_ms,omitempty"`
 }
 
 // Summary is a sweep's operational outcome. Executed counts specs a
@@ -115,6 +123,14 @@ func (s Summary) String() string {
 	for i, n := range names {
 		b := s.Backends[n]
 		per[i] = fmt.Sprintf("%s %d run(s) %d failure(s)", n, b.Runs, b.Failures)
+		// Retry/quarantine/latency detail appears only when present, so
+		// the common all-healthy line (which tests and CI grep) is stable.
+		if b.Retries > 0 || b.Quarantines > 0 {
+			per[i] += fmt.Sprintf(" %d retry(s) %d quarantine(s)", b.Retries, b.Quarantines)
+		}
+		if b.P95Ms > 0 {
+			per[i] += fmt.Sprintf(" p50 %.0fms p95 %.0fms", b.P50Ms, b.P95Ms)
+		}
 	}
 	specs := fmt.Sprintf("%d spec(s)", s.Specs)
 	if s.Duplicates > 0 {
@@ -145,6 +161,14 @@ type backendState struct {
 	consecutiveFails int
 	runs             int
 	failures         int
+	// retries counts dispatches that were re-attempts of a spec (attempt
+	// > 1); quarantines counts transitions into the sidelined state — a
+	// flapping backend quarantined twice reports 2, not its failure total.
+	retries     int
+	quarantines int
+	// lat holds every attempt's wall duration; the summary reports its
+	// p50/p95 so a slow backend is visible even when it never fails.
+	lat *stats.Histogram
 }
 
 // quarantineAfter is how many consecutive failures sideline a backend
@@ -177,10 +201,14 @@ func New(cfg Config) (*Orchestrator, error) {
 	if cfg.RetryMax <= 0 {
 		cfg.RetryMax = 5 * time.Second
 	}
+	states := make([]backendState, len(cfg.Backends))
+	for i := range states {
+		states[i].lat = stats.NewHistogram()
+	}
 	return &Orchestrator{
 		cfg:    cfg,
 		jitter: service.NewJitter(cfg.RetrySeed),
-		states: make([]backendState, len(cfg.Backends)),
+		states: states,
 	}, nil
 }
 
@@ -265,11 +293,18 @@ func (o *Orchestrator) run(ctx context.Context, specs []service.RunSpec, dropped
 		}
 	}
 	o.mu.Lock()
-	for i, st := range o.states {
+	for i := range o.states {
+		st := &o.states[i]
 		name := o.cfg.Backends[i].Name()
 		agg := res.Summary.Backends[name]
 		agg.Runs += st.runs
 		agg.Failures += st.failures
+		agg.Retries += st.retries
+		agg.Quarantines += st.quarantines
+		if st.lat.Count() > 0 {
+			agg.P50Ms = st.lat.Quantile(0.5) * 1e3
+			agg.P95Ms = st.lat.Quantile(0.95) * 1e3
+		}
 		res.Summary.Backends[name] = agg
 	}
 	o.mu.Unlock()
@@ -303,8 +338,9 @@ func (o *Orchestrator) runSpec(ctx context.Context, spec service.RunSpec, total,
 		}
 		bi := o.acquire(tried)
 		backend := o.cfg.Backends[bi]
+		t0 := time.Now()
 		res, err := backend.Run(ctx, spec)
-		o.release(bi, err == nil)
+		o.release(bi, err == nil, time.Since(t0), attempt > 1)
 		out.Attempts = attempt
 		if err == nil {
 			out.Body, out.Outcome, out.Backend, out.Memo = res.Body, res.Outcome, backend.Name(), res.Memo
@@ -353,17 +389,27 @@ func (o *Orchestrator) acquire(tried map[int]bool) int {
 	return pick
 }
 
-// release returns a backend slot and updates its health record.
-func (o *Orchestrator) release(i int, success bool) {
+// release returns a backend slot and updates its health record: the
+// attempt's wall duration, whether it was a retry dispatch, and — on the
+// exact failure that crosses the quarantine threshold — one quarantine.
+func (o *Orchestrator) release(i int, success bool, dur time.Duration, retry bool) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
-	o.states[i].inflight--
-	o.states[i].runs++
+	st := &o.states[i]
+	st.inflight--
+	st.runs++
+	st.lat.Observe(dur.Seconds())
+	if retry {
+		st.retries++
+	}
 	if success {
-		o.states[i].consecutiveFails = 0
+		st.consecutiveFails = 0
 	} else {
-		o.states[i].consecutiveFails++
-		o.states[i].failures++
+		st.consecutiveFails++
+		st.failures++
+		if st.consecutiveFails == quarantineAfter {
+			st.quarantines++
+		}
 	}
 }
 

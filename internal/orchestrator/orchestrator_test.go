@@ -374,3 +374,42 @@ func TestSpecReportDeterminism(t *testing.T) {
 		t.Fatal(fmt.Sprint("specReport is not deterministic"))
 	}
 }
+
+// TestBackendHealthAccounting drives a sweep serially so the dispatch
+// order is deterministic: backend 0 serves one spec then dies, every
+// later spec fails over to the healthy backend. The per-backend stats
+// must show the dying backend quarantined exactly once (the third
+// consecutive failure, not every failure after it), the healthy backend
+// absorbing the retries, and attempt latency percentiles for both.
+func TestBackendHealthAccounting(t *testing.T) {
+	dying := &stubBackend{name: "dying", dieAfter: 1}
+	healthy := &stubBackend{name: "healthy"}
+	o, err := New(Config{Backends: []Backend{dying, healthy}, Concurrency: 1,
+		RetryBase: time.Millisecond, RetryMax: 2 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := o.Run(context.Background(), smallSweep())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := res.Summary.Backends["dying"]
+	h := res.Summary.Backends["healthy"]
+	if d.Failures != 3 || d.Quarantines != 1 {
+		t.Errorf("dying = %+v, want 3 failures and exactly 1 quarantine", d)
+	}
+	if h.Retries != 3 || h.Failures != 0 {
+		t.Errorf("healthy = %+v, want 3 retry dispatches and no failures", h)
+	}
+	for name, b := range res.Summary.Backends {
+		if b.P50Ms <= 0 || b.P95Ms < b.P50Ms {
+			t.Errorf("%s latency percentiles = p50 %v p95 %v, want 0 < p50 <= p95", name, b.P50Ms, b.P95Ms)
+		}
+	}
+	line := res.Summary.String()
+	for _, want := range []string{"retry(s)", "quarantine(s)", "p50", "p95"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("Summary.String() = %q, missing %q", line, want)
+		}
+	}
+}

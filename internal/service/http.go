@@ -77,7 +77,16 @@ func ParseMemoHeader(s string) (memo.RunStatsView, bool) {
 //	GET    /v1/stats         operational snapshot
 //	GET    /v1/cache         cache tiers: LRU entries/bytes, store path/size
 //	DELETE /v1/cache         purge both tiers (LRU + persistent store)
+//	GET    /v1/runs/{id}/trace  span tree of the latest run of a spec hash
+//	GET    /v1/traces        trace IDs currently held
+//	GET    /metrics          Prometheus text exposition
 //	GET    /healthz          liveness
+//
+// The trace routes accept the spec content hash (or a prefix) as {id} and
+// default to Chrome trace-event format; ?format=spans returns the
+// structural span-tree JSON instead. Both 404 unless the service was
+// built with a trace store. /metrics serves an empty body on a service
+// without a metrics registry.
 func NewHandler(s *Service) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/runs", func(w http.ResponseWriter, r *http.Request) {
@@ -105,10 +114,47 @@ func NewHandler(s *Service) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, s.CacheInfo())
 	})
+	mux.HandleFunc("GET /v1/runs/{id}/trace", func(w http.ResponseWriter, r *http.Request) {
+		handleTrace(s, w, r)
+	})
+	mux.HandleFunc("GET /v1/traces", func(w http.ResponseWriter, r *http.Request) {
+		if s.cfg.Traces == nil {
+			writeError(w, http.StatusNotFound, errors.New("tracing disabled (start cfserve with -trace-dir or -traces)"))
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"traces": s.cfg.Traces.IDs()})
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = s.cfg.Metrics.WritePrometheus(w)
+	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 	return mux
+}
+
+// handleTrace serves one run's span tree. The default body is Chrome
+// trace-event JSON (load it at chrome://tracing or ui.perfetto.dev);
+// ?format=spans returns the structural export with deterministic span IDs.
+func handleTrace(s *Service, w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Traces == nil {
+		writeError(w, http.StatusNotFound, errors.New("tracing disabled (start cfserve with -trace-dir or -traces)"))
+		return
+	}
+	id := r.PathValue("id")
+	tr, ok := s.cfg.Traces.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no trace for %q (traces hold the most recent runs only)", id))
+		return
+	}
+	if r.URL.Query().Get("format") == "spans" {
+		writeJSON(w, http.StatusOK, tr.Export())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_ = tr.WriteChrome(w)
 }
 
 func handleRuns(s *Service, w http.ResponseWriter, r *http.Request) {

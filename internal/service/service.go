@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/memo"
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/runner"
 	"repro/internal/stats"
@@ -49,9 +50,6 @@ type Config struct {
 	QueueDepth int
 	// CacheEntries bounds the LRU result cache (0 = 256).
 	CacheEntries int
-	// LatencyWindow is how many recent execution latencies the p50/p95
-	// snapshot is computed over (0 = 512).
-	LatencyWindow int
 	// Executor computes reports (nil = DefaultExecutor).
 	Executor Executor
 	// Store is the optional persistent tier below the LRU: misses
@@ -65,6 +63,21 @@ type Config struct {
 	// (a custom Executor owns its own run path). Results stay
 	// byte-identical with or without it.
 	Memo *memo.Tier
+	// Metrics is the optional registry GET /metrics scrapes. Families are
+	// registered at construction and read the service's own counters at
+	// scrape time — /v1/stats and /metrics report from one source of
+	// truth. nil disables the endpoint's content, never the service.
+	Metrics *obs.Registry
+	// Traces is the optional trace store: when set, every request records
+	// a span tree (admission → cache/store probes → queue wait → execute →
+	// report encode) retrievable at GET /v1/runs/{id}/trace. Traces live
+	// strictly outside canonical report bytes and cache keys — results are
+	// byte-identical with tracing on or off.
+	Traces *obs.TraceStore
+	// Profile turns on the engine's wall-clock self-accounting for
+	// executed runs (machine.Config.Profile); the numbers surface as span
+	// arguments on traced runs. Simulated results are unaffected.
+	Profile bool
 }
 
 func (c Config) withDefaults() Config {
@@ -76,9 +89,6 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CacheEntries <= 0 {
 		c.CacheEntries = 256
-	}
-	if c.LatencyWindow <= 0 {
-		c.LatencyWindow = 512
 	}
 	if c.Executor == nil {
 		c.Executor = DefaultExecutor
@@ -148,6 +158,12 @@ type flight struct {
 	body    []byte
 	err     error
 	memo    *memo.RunStatsView
+
+	// The first submitter's trace rides the flight: queueSpan covers
+	// enqueue-to-dequeue, the rest of the tree grows in execute. Both are
+	// nil on an untraced service.
+	trace     *obs.Trace
+	queueSpan *obs.Span
 }
 
 // job is one async submission; it resolves through its flight, or is born
@@ -187,39 +203,20 @@ type Service struct {
 	rejected  atomic.Uint64
 	completed atomic.Uint64
 	failed    atomic.Uint64
+	busy      atomic.Int64 // workers currently executing a flight
 
 	// Cold executions and cache-served responses live on latency scales
-	// three orders of magnitude apart; each gets its own window so a burst
-	// of hits cannot dilute the execution percentiles (or vice versa).
-	execLat latWindow
-	hitLat  latWindow
-}
+	// three orders of magnitude apart; each gets its own histogram so a
+	// burst of hits cannot dilute the execution percentiles (or vice
+	// versa). The same histograms back /v1/stats percentiles and /metrics
+	// exposition — one source of truth.
+	execLat *stats.Histogram
+	hitLat  *stats.Histogram
 
-// latWindow is a fixed-size ring of recent latencies.
-type latWindow struct {
-	mu  sync.Mutex
-	buf []float64
-	idx int
-	n   int
-}
-
-func (w *latWindow) record(sec float64) {
-	w.mu.Lock()
-	w.buf[w.idx] = sec
-	w.idx = (w.idx + 1) % len(w.buf)
-	if w.n < len(w.buf) {
-		w.n++
-	}
-	w.mu.Unlock()
-}
-
-// snapshot copies the window's live samples.
-func (w *latWindow) snapshot() []float64 {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	out := make([]float64, w.n)
-	copy(out, w.buf[:w.n])
-	return out
+	// govLat holds one execution-latency histogram per governor, created
+	// lazily on first execution and registered with the metrics registry.
+	govMu  sync.Mutex
+	govLat map[string]*stats.Histogram
 }
 
 // maxJobs bounds the async job registry; finished jobs are evicted oldest
@@ -242,9 +239,11 @@ func New(cfg Config) *Service {
 		defaultExec: defaultExec,
 		inflight:    make(map[string]*flight),
 		jobs:        make(map[string]*job),
-		execLat:     latWindow{buf: make([]float64, cfg.LatencyWindow)},
-		hitLat:      latWindow{buf: make([]float64, cfg.LatencyWindow)},
+		execLat:     stats.NewHistogram(),
+		hitLat:      stats.NewHistogram(),
+		govLat:      make(map[string]*stats.Histogram),
 	}
+	s.registerMetrics()
 	workers := make([]func(context.Context) error, cfg.Workers)
 	for i := range workers {
 		workers[i] = s.worker
@@ -257,6 +256,103 @@ func New(cfg Config) *Service {
 		_ = pool.Go(ctx, workers...)
 	}()
 	return s
+}
+
+// registerMetrics wires every metric family to the counters the service
+// already keeps: counters read the same atomics /v1/stats snapshots,
+// gauges read live structures at scrape time, and the latency histograms
+// are the very objects Stats computes percentiles from. No shadow
+// counting anywhere. A nil registry makes every call here a no-op.
+func (s *Service) registerMetrics() {
+	m := s.cfg.Metrics
+	if m == nil {
+		return
+	}
+	u := func(v *atomic.Uint64) func() float64 {
+		return func() float64 { return float64(v.Load()) }
+	}
+	for _, c := range []struct {
+		outcome string
+		v       *atomic.Uint64
+	}{
+		{"hit", &s.hits}, {"disk", &s.diskHits}, {"miss", &s.misses},
+		{"coalesced", &s.coalesced}, {"rejected", &s.rejected},
+	} {
+		m.CounterFunc("cf_cache_requests_total",
+			"Submissions by admission outcome (hit, disk, miss, coalesced, rejected).",
+			u(c.v), obs.Label{Name: "outcome", Value: c.outcome})
+	}
+	m.CounterFunc("cf_runs_completed_total", "Executions that produced a report.", u(&s.completed))
+	m.CounterFunc("cf_runs_failed_total", "Executions that failed.", u(&s.failed))
+	m.GaugeFunc("cf_queue_depth", "Flights accepted but not yet executing.",
+		func() float64 { return float64(len(s.queue)) })
+	m.GaugeFunc("cf_queue_capacity", "Job queue capacity.",
+		func() float64 { return float64(cap(s.queue)) })
+	m.GaugeFunc("cf_workers", "Worker fleet size.",
+		func() float64 { return float64(s.cfg.Workers) })
+	m.GaugeFunc("cf_workers_busy", "Workers currently executing a flight.",
+		func() float64 { return float64(s.busy.Load()) })
+	m.GaugeFunc("cf_cache_entries", "Result-cache LRU entries.",
+		func() float64 { return float64(s.cache.Len()) })
+	m.GaugeFunc("cf_cache_bytes", "Result-cache LRU bytes.",
+		func() float64 { return float64(s.cache.Bytes()) })
+	m.HistogramVar("cf_exec_seconds",
+		"Cold execution latency (worker-fleet runs), seconds.", s.execLat)
+	m.HistogramVar("cf_cachepath_seconds",
+		"Cache-path service latency (hits, disk hits, coalesced waits), seconds.", s.hitLat)
+	if st := s.cfg.Store; st != nil {
+		f := func(get func(store.Info) float64) func() float64 {
+			return func() float64 { return get(st.Info()) }
+		}
+		m.CounterFunc("cf_store_hits_total", "Persistent-store lookups served.",
+			f(func(i store.Info) float64 { return float64(i.Hits) }))
+		m.CounterFunc("cf_store_misses_total", "Persistent-store lookups missed.",
+			f(func(i store.Info) float64 { return float64(i.Misses) }))
+		m.CounterFunc("cf_store_corrupt_total", "Persistent-store entries rejected as corrupt.",
+			f(func(i store.Info) float64 { return float64(i.Corrupt) }))
+		m.CounterFunc("cf_store_evicted_total", "Persistent-store entries evicted.",
+			f(func(i store.Info) float64 { return float64(i.Evicted) }))
+		m.GaugeFunc("cf_store_entries", "Persistent-store entries.",
+			f(func(i store.Info) float64 { return float64(i.Entries) }))
+		m.GaugeFunc("cf_store_bytes", "Persistent-store bytes.",
+			f(func(i store.Info) float64 { return float64(i.Bytes) }))
+	}
+	if mt := s.cfg.Memo; mt != nil {
+		f := func(get func(memo.Info) float64) func() float64 {
+			return func() float64 { return get(mt.Info()) }
+		}
+		m.CounterFunc("cf_memo_lookups_total", "Memo-tier snapshot lookups.",
+			f(func(i memo.Info) float64 { return float64(i.Lookups) }))
+		m.CounterFunc("cf_memo_hits_total", "Memo-tier snapshot lookups that hit.",
+			f(func(i memo.Info) float64 { return float64(i.Hits) }))
+		m.CounterFunc("cf_memo_prefix_hits_total", "Runs resumed from a memoized prefix.",
+			f(func(i memo.Info) float64 { return float64(i.PrefixHits) }))
+		m.CounterFunc("cf_memo_quanta_saved_total", "Simulation quanta skipped via prefix resume.",
+			f(func(i memo.Info) float64 { return float64(i.QuantaSaved) }))
+		m.GaugeFunc("cf_memo_entries", "Memo-tier snapshot entries.",
+			f(func(i memo.Info) float64 { return float64(i.Entries) }))
+		m.GaugeFunc("cf_memo_bytes", "Memo-tier snapshot bytes.",
+			f(func(i memo.Info) float64 { return float64(i.Bytes) }))
+	}
+}
+
+// governorHist returns the per-governor execution-latency histogram,
+// creating and registering it on first use.
+func (s *Service) governorHist(gov string) *stats.Histogram {
+	if gov == "" {
+		gov = "default"
+	}
+	s.govMu.Lock()
+	defer s.govMu.Unlock()
+	h, ok := s.govLat[gov]
+	if !ok {
+		h = stats.NewHistogram()
+		s.govLat[gov] = h
+		s.cfg.Metrics.HistogramVar("cf_governor_exec_seconds",
+			"Cold execution latency by governor, seconds.", h,
+			obs.Label{Name: "governor", Value: gov})
+	}
+	return h
 }
 
 // worker drains the queue until it is closed (graceful shutdown) or the
@@ -280,25 +376,40 @@ func (s *Service) worker(ctx context.Context) error {
 // view travels back on the Result.
 func (s *Service) execute(ctx context.Context, fl *flight) {
 	fl.started.Store(true)
+	s.busy.Add(1)
+	defer s.busy.Add(-1)
+	fl.queueSpan.End()
+	exec := fl.trace.Root().Child("execute")
 	start := time.Now()
 	var rep *report.RunReport
 	var err error
-	if s.defaultExec && s.cfg.Memo != nil {
-		rs := &memo.RunStats{}
+	if s.defaultExec {
+		// The in-process harness path carries the runtime wiring — memo
+		// tier, trace span, profiling — none of which is part of the spec's
+		// identity or the report's bytes.
 		opt := fl.spec.Options()
-		opt.Memo = s.cfg.Memo
-		opt.MemoStats = rs
+		opt.Span = exec
+		opt.Profile = s.cfg.Profile
+		var rs *memo.RunStats
+		if s.cfg.Memo != nil {
+			rs = &memo.RunStats{}
+			opt.Memo = s.cfg.Memo
+			opt.MemoStats = rs
+		}
 		rep, err = experiments.BuildReport(fl.spec.Experiment, fl.spec.Benchmark, opt)
-		if err == nil {
+		if err == nil && rs != nil {
 			v := rs.View()
 			fl.memo = &v
 		}
 	} else {
 		rep, err = s.cfg.Executor(ctx, fl.spec)
 	}
+	exec.End()
 	var body []byte
 	if err == nil {
+		enc := fl.trace.Root().Child("report_encode")
 		body, err = rep.Encode()
+		enc.End()
 	}
 	if err == nil {
 		s.cache.Add(fl.hash, body)
@@ -307,10 +418,21 @@ func (s *Service) execute(ctx context.Context, fl *flight) {
 			// costs durability, not correctness — the store counts it.
 			_ = s.cfg.Store.Put(fl.hash, body)
 		}
-		s.execLat.record(time.Since(start).Seconds())
+		sec := time.Since(start).Seconds()
+		s.execLat.Observe(sec)
+		s.governorHist(fl.spec.Governor).Observe(sec)
 		s.completed.Add(1)
 	} else {
 		s.failed.Add(1)
+	}
+	if fl.trace != nil {
+		root := fl.trace.Root()
+		root.Set("outcome", string(OutcomeMiss))
+		if err != nil {
+			root.Set("error", err.Error())
+		}
+		root.End()
+		_ = s.cfg.Traces.Save(fl.trace)
 	}
 	s.finish(fl, body, err)
 }
@@ -330,24 +452,31 @@ func (s *Service) finish(fl *flight, body []byte, err error) {
 // immediately with ErrQueueFull rather than blocking the caller.
 func (s *Service) Submit(ctx context.Context, spec RunSpec) (Result, error) {
 	start := time.Now()
-	fl, outcome, res, err := s.admit(spec)
-	if err != nil || fl == nil { // hit or disk hit: born resolved
+	adm, err := s.admit(spec)
+	if err != nil || adm.fl == nil { // hit or disk hit: born resolved
 		if err == nil {
-			s.hitLat.record(time.Since(start).Seconds())
+			s.hitLat.Observe(time.Since(start).Seconds())
 		}
-		return res, err
+		return adm.res, err
 	}
+	fl := adm.fl
 	select {
 	case <-fl.done:
+		adm.join.End()
+		if adm.outcome == OutcomeCoalesced {
+			// The coalescer's trace is its own (the flight's trace belongs
+			// to the first submitter and is saved by execute).
+			s.saveTrace(adm.trace, OutcomeCoalesced, fl.err)
+		}
 		if fl.err != nil {
 			return Result{}, fl.err
 		}
-		if outcome == OutcomeCoalesced {
+		if adm.outcome == OutcomeCoalesced {
 			// Served by someone else's execution: the wait belongs in the
-			// cache-path window, not the cold-execution one.
-			s.hitLat.record(time.Since(start).Seconds())
+			// cache-path histogram, not the cold-execution one.
+			s.hitLat.Observe(time.Since(start).Seconds())
 		}
-		return Result{Hash: fl.hash, Outcome: outcome, Body: fl.body, Memo: fl.memo}, nil
+		return Result{Hash: fl.hash, Outcome: adm.outcome, Body: fl.body, Memo: fl.memo}, nil
 	case <-ctx.Done():
 		// The flight keeps running; a later identical spec will hit the
 		// cache it populates.
@@ -355,47 +484,102 @@ func (s *Service) Submit(ctx context.Context, spec RunSpec) (Result, error) {
 	}
 }
 
+// admission is what admit hands back: either a born-resolved Result or
+// the flight to wait on, plus the submitter's trace. For a miss the trace
+// rides the flight (execute saves it); for a coalesce the join span stays
+// open until the flight resolves.
+type admission struct {
+	fl      *flight
+	outcome Outcome
+	res     Result
+	trace   *obs.Trace
+	join    *obs.Span
+}
+
+// saveTrace closes a trace's root span with the request outcome and hands
+// it to the trace store. Nil-safe on every argument.
+func (s *Service) saveTrace(tr *obs.Trace, outcome Outcome, err error) {
+	if tr == nil {
+		return
+	}
+	root := tr.Root()
+	root.Set("outcome", string(outcome))
+	if err != nil {
+		root.Set("error", err.Error())
+	}
+	root.End()
+	_ = s.cfg.Traces.Save(tr)
+}
+
 // admit is the shared admission path: normalize + validate, consult the
-// cache, coalesce or enqueue. It returns either a hit Result or the
-// flight to wait on with the outcome the waiter should report.
-func (s *Service) admit(spec RunSpec) (*flight, Outcome, Result, error) {
+// cache, coalesce or enqueue. On a traced service it also grows this
+// request's span tree — admission, cache/store probes, then queue_wait or
+// coalesce_join. Tracing is wall-clock bookkeeping only: the bytes served
+// and the cache/store state transitions are identical with it off.
+func (s *Service) admit(spec RunSpec) (admission, error) {
+	var tr *obs.Trace
+	if s.cfg.Traces != nil {
+		tr = obs.NewTrace("")
+	}
+	adm := tr.Root().Child("admission")
 	norm := spec.Normalized()
 	if err := norm.Validate(); err != nil {
-		return nil, "", Result{}, err
+		return admission{}, err
 	}
 	hash := norm.Hash()
-	if body, ok := s.cache.Get(hash); ok {
+	tr.SetID(hash)
+	adm.End()
+
+	probe := tr.Root().Child("cache_probe")
+	body, ok := s.cache.Get(hash)
+	probe.Set("hit", ok)
+	probe.End()
+	if ok {
 		s.hits.Add(1)
-		return nil, OutcomeHit, Result{Hash: hash, Outcome: OutcomeHit, Body: body}, nil
+		s.saveTrace(tr, OutcomeHit, nil)
+		return admission{outcome: OutcomeHit, res: Result{Hash: hash, Outcome: OutcomeHit, Body: body}, trace: tr}, nil
 	}
 	if s.cfg.Store != nil {
-		if body, ok := s.cfg.Store.Get(hash); ok {
+		sp := tr.Root().Child("store_probe")
+		body, ok := s.cfg.Store.Get(hash)
+		sp.Set("hit", ok)
+		sp.End()
+		if ok {
 			// Promote the disk entry into the LRU so the next request is
 			// a memory hit; the bytes served are the stored payload
 			// verbatim, byte-identical to the original execution.
 			s.cache.Add(hash, body)
 			s.diskHits.Add(1)
-			return nil, OutcomeDisk, Result{Hash: hash, Outcome: OutcomeDisk, Body: body}, nil
+			s.saveTrace(tr, OutcomeDisk, nil)
+			return admission{outcome: OutcomeDisk, res: Result{Hash: hash, Outcome: OutcomeDisk, Body: body}, trace: tr}, nil
 		}
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
-		return nil, "", Result{}, ErrClosed
+		return admission{}, ErrClosed
 	}
 	if fl, ok := s.inflight[hash]; ok {
 		s.coalesced.Add(1)
-		return fl, OutcomeCoalesced, Result{}, nil
+		join := tr.Root().Child("coalesce_join")
+		return admission{fl: fl, outcome: OutcomeCoalesced, trace: tr, join: join}, nil
 	}
 	fl := &flight{hash: hash, spec: norm, done: make(chan struct{})}
+	// The first submitter's trace rides the flight; execute closes it.
+	// Both fields must be set before the send — a worker may dequeue the
+	// flight the instant it lands on the queue.
+	fl.trace = tr
+	fl.queueSpan = tr.Root().Child("queue_wait")
 	select {
 	case s.queue <- fl:
 		s.inflight[hash] = fl
 		s.misses.Add(1)
-		return fl, OutcomeMiss, Result{}, nil
+		return admission{fl: fl, outcome: OutcomeMiss, trace: tr}, nil
 	default:
+		fl.queueSpan.End()
 		s.rejected.Add(1)
-		return nil, "", Result{}, ErrQueueFull
+		s.saveTrace(tr, "rejected", ErrQueueFull)
+		return admission{}, ErrQueueFull
 	}
 }
 
@@ -403,15 +587,21 @@ func (s *Service) admit(spec RunSpec) (*flight, Outcome, Result, error) {
 // progress GET-style polling reads through Job. Cache hits return an
 // already-done job; backpressure still applies.
 func (s *Service) SubmitAsync(spec RunSpec) (JobView, error) {
-	fl, outcome, res, err := s.admit(spec)
+	adm, err := s.admit(spec)
 	if err != nil {
 		return JobView{}, err
 	}
-	j := &job{outcome: outcome}
-	if fl == nil { // hit or disk hit: born resolved
-		j.hash, j.body = res.Hash, res.Body
+	// An async coalescer has no waiter to close its join span; resolve its
+	// trace at admission (the flight's own trace captures the execution).
+	if adm.join != nil {
+		adm.join.End()
+		s.saveTrace(adm.trace, OutcomeCoalesced, nil)
+	}
+	j := &job{outcome: adm.outcome}
+	if adm.fl == nil { // hit or disk hit: born resolved
+		j.hash, j.body = adm.res.Hash, adm.res.Body
 	} else {
-		j.hash, j.fl = fl.hash, fl
+		j.hash, j.fl = adm.fl.hash, adm.fl
 	}
 	s.mu.Lock()
 	j.id = fmt.Sprintf("r%06d-%s", s.seq.Add(1), j.hash[:12])
@@ -503,7 +693,10 @@ type Stats struct {
 	Memo         *memo.Info `json:"memo,omitempty"`
 }
 
-// Stats snapshots the counters and both latency windows' percentiles.
+// Stats snapshots the counters and both latency histograms' percentiles.
+// The histograms are the same objects /metrics exposes, so the two
+// endpoints can never disagree; percentiles are log-bucket upper bounds
+// (one-sided error ≤ 1.585×, see stats.Histogram).
 func (s *Service) Stats() Stats {
 	s.mu.Lock()
 	inflight := len(s.inflight)
@@ -523,14 +716,10 @@ func (s *Service) Stats() Stats {
 		CacheEntries: s.cache.Len(),
 		CacheCap:     s.cfg.CacheEntries,
 	}
-	if window := s.execLat.snapshot(); len(window) > 0 {
-		st.ExecP50Ms = stats.Percentile(window, 50) * 1e3
-		st.ExecP95Ms = stats.Percentile(window, 95) * 1e3
-	}
-	if window := s.hitLat.snapshot(); len(window) > 0 {
-		st.HitP50Us = stats.Percentile(window, 50) * 1e6
-		st.HitP95Us = stats.Percentile(window, 95) * 1e6
-	}
+	st.ExecP50Ms = s.execLat.Quantile(0.5) * 1e3
+	st.ExecP95Ms = s.execLat.Quantile(0.95) * 1e3
+	st.HitP50Us = s.hitLat.Quantile(0.5) * 1e6
+	st.HitP95Us = s.hitLat.Quantile(0.95) * 1e6
 	if s.cfg.Memo != nil {
 		mi := s.cfg.Memo.Info()
 		st.Memo = &mi

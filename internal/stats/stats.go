@@ -63,11 +63,20 @@ func GeoMean(xs []float64) float64 {
 }
 
 // Percentile returns the p-th percentile (0 ≤ p ≤ 100) of xs using linear
-// interpolation between closest ranks; zero for an empty slice. The input
-// is not modified.
+// interpolation between closest ranks. The input is not modified.
+//
+// Edge behavior, pinned by TestPercentileEdgeCases:
+//   - an empty slice returns 0 (callers treat "no samples yet" as zero
+//     latency rather than NaN, which would poison JSON snapshots);
+//   - a single-element slice returns that element for every p;
+//   - p below 0 clamps to the minimum, p above 100 to the maximum;
+//   - a NaN p returns NaN (an impossible rank must not read as data).
 func Percentile(xs []float64, p float64) float64 {
 	if len(xs) == 0 {
 		return 0
+	}
+	if math.IsNaN(p) {
+		return math.NaN()
 	}
 	sorted := make([]float64, len(xs))
 	copy(sorted, xs)
