@@ -23,6 +23,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/msr"
 	"repro/internal/sched"
+	"repro/internal/timeline"
 	"repro/internal/workload"
 )
 
@@ -38,6 +39,25 @@ func benchOptions() experiments.Options {
 func BenchmarkTable1(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		rows, err := experiments.Table1(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var distinct int
+		for _, r := range rows {
+			distinct += r.Distinct
+		}
+		b.ReportMetric(float64(distinct), "slabs")
+	}
+}
+
+// BenchmarkTable1Timeline regenerates the census with the flight
+// recorder armed. Compare against BenchmarkTable1 for the recorder's
+// overhead; BENCH_obs.json records the reference delta (< 3%).
+func BenchmarkTable1Timeline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		o := benchOptions()
+		o.Timeline = timeline.New("bench")
+		rows, err := experiments.Table1(o)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -26,6 +26,14 @@
 // each trace's simulate span; -pprof-addr serves net/http/pprof on a
 // separate listener so profiling endpoints never share the public port.
 //
+// -timelines arms the deterministic flight recorder on every executed
+// spec: the simulated machine is sampled at region boundaries and every
+// governor decision lands as an event. Timelines are a pure function of
+// the spec (two executions serve byte-identical JSON), stay strictly
+// outside report bytes and cache keys, and are served from a bounded
+// ring at GET /v1/runs/{id}/timeline. Executed responses also carry an
+// X-Timeline convergence summary header.
+//
 //	POST   /v1/runs          run a spec, wait for the report
 //	POST   /v1/runs?async=1  enqueue, poll GET /v1/runs/{id}
 //	GET    /v1/governors     registered strategies
@@ -34,7 +42,9 @@
 //	GET    /v1/cache         cache tiers (LRU entries/bytes, store path/size)
 //	DELETE /v1/cache         purge LRU + store
 //	GET    /v1/runs/{id}/trace  Chrome trace-event JSON for a spec hash
-//	GET    /v1/traces        held trace IDs
+//	GET    /v1/runs/{id}/timeline  flight-recorder JSON for a spec hash
+//	GET    /v1/traces        held trace IDs + retention counters
+//	GET    /v1/timelines     held timeline IDs + retention counters
 //	GET    /metrics          Prometheus text exposition
 //	GET    /healthz          liveness
 //
@@ -59,6 +69,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/service"
 	"repro/internal/store"
+	"repro/internal/timeline"
 )
 
 func main() {
@@ -73,6 +84,7 @@ func main() {
 		memoDir   = flag.String("memo-dir", "", "persistent snapshot directory below the memo LRU (empty = memory only); implies -memo")
 		memoMax   = flag.Int64("memo-max-bytes", 0, "memo LRU byte budget (0 = 64 MiB)")
 		traces    = flag.Int("traces", 64, "recent run traces to hold for GET /v1/runs/{id}/trace (0 disables tracing)")
+		timelines = flag.Int("timelines", 0, "recent flight-recorder timelines to hold for GET /v1/runs/{id}/timeline (0 disables timeline recording)")
 		traceDir  = flag.String("trace-dir", "", "also write each trace as Chrome trace-event JSON under this directory")
 		profile   = flag.Bool("profile", false, "record per-phase and per-worker wall time into each trace's simulate span")
 		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = off)")
@@ -83,7 +95,7 @@ func main() {
 		addr: *addr, workers: *workers, queue: *queue, cache: *cache,
 		storeDir: *storeDir, storeMax: *storeMax,
 		useMemo: *useMemo, memoDir: *memoDir, memoMax: *memoMax,
-		traces: *traces, traceDir: *traceDir, profile: *profile,
+		traces: *traces, timelines: *timelines, traceDir: *traceDir, profile: *profile,
 		pprofAddr: *pprofAddr, grace: *grace,
 	}); err != nil {
 		fmt.Fprintf(os.Stderr, "cfserve: %v\n", err)
@@ -104,6 +116,7 @@ type runConfig struct {
 	memoDir   string
 	memoMax   int64
 	traces    int
+	timelines int
 	traceDir  string
 	profile   bool
 	pprofAddr string
@@ -128,6 +141,10 @@ func run(rc runConfig) error {
 			}
 			log.Printf("cfserve: writing Chrome traces to %s", rc.traceDir)
 		}
+	}
+	if rc.timelines > 0 {
+		cfg.Timelines = timeline.NewStore(rc.timelines)
+		log.Printf("cfserve: flight recorder on (%d timeline(s) retained)", rc.timelines)
 	}
 	if rc.storeDir != "" {
 		st, err := store.Open(rc.storeDir, rc.storeMax)

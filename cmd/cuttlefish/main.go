@@ -36,6 +36,7 @@ import (
 	"repro/internal/scenario"
 	"repro/internal/service"
 	"repro/internal/store"
+	"repro/internal/timeline"
 )
 
 var (
@@ -49,6 +50,7 @@ var (
 	memoDir      = ""
 	memoMaxBytes = int64(0)
 	traceOut     = ""
+	timelineOut  = ""
 	profileFlag  = false
 	backends     stringList
 	listGov      bool
@@ -89,6 +91,7 @@ func newFlagSet(opt *experiments.Options) *flag.FlagSet {
 	fs.IntVar(&opt.Cores, "cores", opt.Cores, "simulated core count")
 	fs.Int64Var(&opt.Seed, "seed", opt.Seed, "base RNG seed")
 	fs.Float64Var(&opt.TinvSec, "tinv", opt.TinvSec, "daemon profiling interval in seconds")
+	fs.Float64Var(&opt.WarmupSec, "warmup", opt.WarmupSec, "cuttlefish daemon warmup before its first wake, in simulated seconds (negative = none; part of the spec identity)")
 	fs.IntVar(&opt.Workers, "workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
 	fs.IntVar(&opt.SimWorkers, "simworkers", 0, "engine workers sharding each simulated machine's cores (0/1 = serial)")
 	fs.IntVar(&opt.BatchQuanta, "batch", 0, "max quanta per engine dispatch (0 = run to next event)")
@@ -104,6 +107,7 @@ func newFlagSet(opt *experiments.Options) *flag.FlagSet {
 	fs.StringVar(&memoDir, "memo-dir", memoDir, "persistent snapshot directory below the memo LRU (implies -memo; survives invocations)")
 	fs.Int64Var(&memoMaxBytes, "memo-max-bytes", memoMaxBytes, "memo LRU byte budget (0 = 64 MiB)")
 	fs.StringVar(&traceOut, "trace-out", traceOut, "write the in-process run's span trace as Chrome trace-event JSON to this file (implies -profile)")
+	fs.StringVar(&timelineOut, "timeline-out", timelineOut, "record the in-process run's flight-recorder timeline (per-quantum frequencies, IPC, energy, governor decisions) and write it as JSON to this file")
 	fs.BoolVar(&profileFlag, "profile", profileFlag, "record per-phase and per-worker wall time into the trace's simulate spans")
 	fs.BoolVar(&listGov, "list-governors", false, "list registered governors and exit")
 	fs.BoolVar(&listScen, "list-scenarios", false, "list registered workloads (benchmarks and scenarios) and exit")
@@ -241,6 +245,16 @@ as Chrome trace-event JSON (open at chrome://tracing or
 ui.perfetto.dev). Tracing never changes report bytes:
   cuttlefish run -bench bursty -trace-out trace.json
 
+-timeline-out arms the deterministic flight recorder: the simulated
+machine is sampled at every region boundary (per-core and uncore
+frequency, IPC, instructions, RAPL energy) and every governor decision
+(DVFS/UFS transitions, TIPI slab inserts, exploration phases) lands as
+an event. The JSON file is a pure function of the spec — two runs
+produce byte-identical timelines — and with -trace-out the counters are
+also folded into the Chrome trace as Perfetto value tracks:
+  cuttlefish run -bench bursty -timeline-out timeline.json
+  cuttlefish run -bench bursty -trace-out trace.json -timeline-out timeline.json
+
 -memo adds a second cache tier for in-process execution: phase-boundary
 machine snapshots keyed by schedule prefix, so a run whose schedule
 shares a prefix with an earlier one (a re-run, or a scenario with a
@@ -302,6 +316,9 @@ func run(name string, opt experiments.Options, format string) error {
 		return nil
 	}
 	if remote != "" {
+		if timelineOut != "" {
+			return fmt.Errorf("-timeline-out records in-process runs; fetch a remote run's timeline from GET /v1/runs/{id}/timeline on a cfserve started with -timelines")
+		}
 		return runRemote(name, opt, format)
 	}
 	tier, err := buildMemoTier()
@@ -330,13 +347,32 @@ func run(name string, opt experiments.Options, format string) error {
 		opt.Profile = true
 	}
 	opt.Profile = opt.Profile || profileFlag
+	var rec *timeline.Recorder
+	if timelineOut != "" {
+		if name == "all" {
+			return fmt.Errorf("-timeline-out records one experiment at a time, not %q", name)
+		}
+		// The recorder's ID is the spec's content hash, same as the trace
+		// ID — the timeline written here is byte-identical to the one a
+		// cfserve started with -timelines would serve for this spec.
+		rec = timeline.New(service.SpecFromOptions(name, benchName, opt).Hash())
+		opt.Timeline = rec
+	}
 	rep, err := build(name, opt)
 	if tr != nil {
 		if err != nil {
 			tr.Root().Set("error", err.Error())
 		}
 		tr.Root().End()
+		// Fold the timeline's counter tracks and decision markers into
+		// the span trace so one Perfetto file tells the whole story.
+		obs.MergeTimeline(tr, rec)
 		if werr := writeTrace(tr, traceOut); werr != nil && err == nil {
+			err = werr
+		}
+	}
+	if rec != nil && err == nil {
+		if werr := writeTimeline(rec, timelineOut); werr != nil {
 			err = werr
 		}
 	}
@@ -361,6 +397,26 @@ func writeTrace(tr *obs.Trace, path string) error {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "cuttlefish: trace written to %s\n", path)
+	return nil
+}
+
+// writeTimeline dumps the flight recorder's export as indented JSON.
+// The bytes are a pure function of the spec: two runs of one spec
+// produce byte-identical files (the CI timeline-smoke job cmp's them).
+func writeTimeline(rec *timeline.Recorder, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rec.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	conv := rec.Convergence()
+	fmt.Fprintf(os.Stderr, "cuttlefish: timeline written to %s (%s)\n", path, service.FormatTimelineHeader(conv))
 	return nil
 }
 
@@ -646,13 +702,39 @@ func formatOutcomes(counts map[string]int) string {
 // runRemote ships the experiment to a cfserve instance: the same flags
 // become a RunSpec, the server's canonical report renders locally in any
 // -format. The cache outcome goes to stderr so json/csv stay clean.
+// With -trace-out the client records its own request span and
+// propagates it as X-Trace-Parent, so the local trace file and the
+// server's GET /v1/runs/{id}/trace stitch into one tree.
 func runRemote(name string, opt experiments.Options, format string) error {
+	spec := service.SpecFromOptions(name, benchName, opt)
 	c := &service.Client{BaseURL: remote}
-	rep, outcome, err := c.Run(context.Background(), service.SpecFromOptions(name, benchName, opt))
+	var tr *obs.Trace
+	if traceOut != "" {
+		tr = obs.NewTrace(spec.Hash())
+		c.Trace = tr
+	}
+	res, err := c.RunResult(context.Background(), spec)
+	if tr != nil {
+		if err != nil {
+			tr.Root().Set("error", err.Error())
+		}
+		tr.Root().End()
+		if werr := writeTrace(tr, traceOut); werr != nil && err == nil {
+			err = werr
+		}
+	}
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "cuttlefish: %s via %s (%s)\n", name, remote, outcome)
+	rep, err := report.Decode(res.Body)
+	if err != nil {
+		return err
+	}
+	note := fmt.Sprintf("cuttlefish: %s via %s (%s)", name, remote, res.Outcome)
+	if res.Convergence != nil {
+		note += " [" + service.FormatTimelineHeader(*res.Convergence) + "]"
+	}
+	fmt.Fprintln(os.Stderr, note)
 	return rep.Write(os.Stdout, format)
 }
 

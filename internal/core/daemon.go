@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/freq"
 	"repro/internal/msr"
+	"repro/internal/timeline"
 	"repro/internal/tipi"
 )
 
@@ -112,6 +113,12 @@ type Daemon struct {
 	samples        int
 	exploring      int // samples spent with the current slab unresolved
 	lastErr        error
+
+	// tl is the optional flight recorder; tlNow is the simulated time of
+	// the activation in flight, stamped onto decision events. Both are
+	// observability only — no decision reads them.
+	tl    *timeline.Recorder
+	tlNow float64
 }
 
 // NewDaemon builds the daemon and performs Algorithm 1 lines 1–2: both
@@ -162,12 +169,19 @@ func (d *Daemon) Err() error { return d.lastErr }
 // Stop halts the loop (cuttlefish::stop()); subsequent ticks are no-ops.
 func (d *Daemon) Stop() { d.stopped = true }
 
+// SetTimeline attaches a flight recorder for decision events (slab
+// inserts, exploration intervals, optimum resolutions, DVFS/UFS
+// actuations). Nil disables recording. The daemon never reads the
+// recorder, so attaching one cannot change a decision.
+func (d *Daemon) SetTimeline(rec *timeline.Recorder) { d.tl = rec }
+
 // Tick is the machine.Component hook: one Tinv activation. It returns the
 // CPU time consumed on the pinned core.
 func (d *Daemon) Tick(now float64) float64 {
 	if d.stopped || d.lastErr != nil {
 		return 0
 	}
+	d.tlNow = now
 	if now < d.warmupEnd {
 		return 0 // still asleep (Algorithm 1 line 3)
 	}
@@ -199,6 +213,9 @@ func (d *Daemon) step(s Sample) {
 	ncurr := d.list.Lookup(slab)
 	if ncurr == nil {
 		ncurr = d.list.Insert(slab)
+		if d.tl != nil {
+			d.tl.AddEvent(timeline.Event{T: d.tlNow, Kind: timeline.KindSlabInsert, Slab: int(slab)})
+		}
 		d.seedCFBounds(ncurr) // §4.4 (no-op with a single node)
 		if d.cfg.Policy == PolicyUncoreOnly {
 			d.seedUFBounds(ncurr)
@@ -207,18 +224,20 @@ func (d *Daemon) step(s Sample) {
 	samePhase := d.nprev == ncurr
 	ncurr.Hits++
 	d.samples++
+	hadCF, hadUF := ncurr.CF.HasOpt(), ncurr.UF.HasOpt()
+	var exploring bool
 	switch d.cfg.Policy {
 	case PolicyCoreOnly:
-		if !ncurr.CF.HasOpt() {
-			d.exploring++
-		}
+		exploring = !hadCF
 	case PolicyUncoreOnly:
-		if !ncurr.UF.HasOpt() {
-			d.exploring++
-		}
+		exploring = !hadUF
 	default:
-		if !ncurr.CF.HasOpt() || !ncurr.UF.HasOpt() {
-			d.exploring++
+		exploring = !hadCF || !hadUF
+	}
+	if exploring {
+		d.exploring++
+		if d.tl != nil {
+			d.tl.AddEvent(timeline.Event{T: d.tlNow, Kind: timeline.KindExplore, Slab: int(slab)})
 		}
 	}
 
@@ -261,6 +280,14 @@ func (d *Daemon) step(s Sample) {
 		}
 	}
 
+	if d.tl != nil {
+		if !hadCF && ncurr.CF.HasOpt() {
+			d.tl.AddEvent(timeline.Event{T: d.tlNow, Kind: timeline.KindCFOpt, Slab: int(slab), To: int(d.cfGrid.Ratio(ncurr.CF.Opt()))})
+		}
+		if !hadUF && ncurr.UF.HasOpt() {
+			d.tl.AddEvent(timeline.Event{T: d.tlNow, Kind: timeline.KindUFOpt, Slab: int(slab), To: int(d.ufGrid.Ratio(ncurr.UF.Opt()))})
+		}
+	}
 	if err := d.setFreq(cfNext, ufNext, false); err != nil {
 		d.lastErr = err
 		return
@@ -294,11 +321,17 @@ func (d *Daemon) setFreq(cf, uf freq.Level, force bool) error {
 				return fmt.Errorf("core: DVFS write core %d: %w", c, err)
 			}
 		}
+		if d.tl != nil {
+			d.tl.AddEvent(timeline.Event{T: d.tlNow, Kind: timeline.KindDVFS, From: int(d.cfGrid.Ratio(d.cfPrev)), To: int(ratio)})
+		}
 	}
 	if force || uf != d.ufPrev {
 		ratio := uint8(d.ufGrid.Ratio(uf))
 		if err := d.dev.Write(msr.UncoreRatioLimit, 0, msr.UncoreLimitRaw(ratio, ratio)); err != nil {
 			return fmt.Errorf("core: UFS write: %w", err)
+		}
+		if d.tl != nil {
+			d.tl.AddEvent(timeline.Event{T: d.tlNow, Kind: timeline.KindUFS, From: int(d.ufGrid.Ratio(d.ufPrev)), To: int(ratio)})
 		}
 	}
 	return nil

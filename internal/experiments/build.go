@@ -192,6 +192,9 @@ func RunOneReport(benchName string, opt Options) (*report.RunReport, error) {
 		sp := opt.Span.ChildLane(fmt.Sprintf("rep-%d", r), r+1)
 		sp.Set("seed", opt.Seed+int64(r))
 		ropt.Span = sp
+		// Timelines split per repetition too, under the matching lane name,
+		// so rep r's samples line up with rep r's spans.
+		ropt.Timeline = opt.Timeline.Lane(fmt.Sprintf("rep-%d", r), r)
 		res, err := RunEntry(entry, gov, ropt, opt.Seed+int64(r))
 		sp.End()
 		results[r] = res

@@ -28,6 +28,9 @@ func sampleRun(spec bench.Spec, opt Options, seed int64, g governor.Governor) (*
 		return nil, 0, err
 	}
 	defer m.Close()
+	// Arm the flight recorder before attach so the governor sees it and
+	// records its decision events (nil stays nil: zero cost when off).
+	m.SetTimeline(opt.Timeline)
 	att, err := g.Attach(m)
 	if err != nil {
 		return nil, 0, err
@@ -45,6 +48,7 @@ func sampleRun(spec bench.Spec, opt Options, seed int64, g governor.Governor) (*
 	m.Schedule(&machine.Component{
 		Period: opt.TinvSec,
 		Tick: func(now float64) float64 {
+			m.RecordTimeline()
 			s, err := prof.Sample()
 			if err != nil || !s.OK {
 				return 0
@@ -113,11 +117,15 @@ func Table1(opt Options) ([]Table1Row, error) {
 	rows := make([]Table1Row, len(specs))
 	err := forEach(len(specs), opt, func(i int) error {
 		spec := specs[i]
+		// Each benchmark samples into its own lane, keyed by name with
+		// the census index for deterministic export order.
+		lopt := opt
+		lopt.Timeline = opt.Timeline.Lane(spec.Name, i)
 		g, err := governor.New(opt.governorName(governor.Default), opt.tuning())
 		if err != nil {
 			return err
 		}
-		rec, sec, err := sampleRun(spec, opt, opt.Seed, g)
+		rec, sec, err := sampleRun(spec, lopt, opt.Seed, g)
 		if err != nil {
 			return err
 		}

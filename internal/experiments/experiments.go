@@ -27,6 +27,7 @@ import (
 	"repro/internal/runner"
 	"repro/internal/scenario"
 	"repro/internal/stats"
+	"repro/internal/timeline"
 	"repro/internal/workload"
 )
 
@@ -94,6 +95,12 @@ type Options struct {
 	// (machine.Config.Profile); results are bit-identical either way, and
 	// the numbers surface as span arguments when Span is set.
 	Profile bool
+	// Timeline is the flight recorder this run samples into; nil disables
+	// recording. Like Span and Memo it is runtime wiring, never part of a
+	// run's identity: timelines live strictly outside report bytes, spec
+	// hashes and memo keys, and are themselves a pure function of
+	// simulation state (two identical runs record identical timelines).
+	Timeline *timeline.Recorder
 }
 
 // pool returns the shared bounded-concurrency pool every harness fans its
@@ -217,6 +224,7 @@ func runSource(name string, nominalSec float64, build func(cores int) (workload.
 		return RunResult{}, err
 	}
 	defer m.Close()
+	m.SetTimeline(opt.Timeline)
 	att, err := g.Attach(m)
 	if err != nil {
 		return RunResult{}, err
@@ -230,7 +238,7 @@ func runSource(name string, nominalSec float64, build func(cores int) (workload.
 	maxSim := nominalSec*opt.Scale*6 + opt.WarmupSec + 30
 	sp := opt.Span.Child("simulate")
 	sp.Set("workload", name)
-	sec := simulate(m, maxSim, sp)
+	sec := simulate(m, maxSim, sp, opt.Timeline)
 	finishSpan(sp, m, sec)
 	if !m.Finished() {
 		return RunResult{}, fmt.Errorf("experiments: %s/%s did not finish in %.0f simulated seconds", name, g.Name(), maxSim)
@@ -257,27 +265,44 @@ const maxRegionSpans = 64
 // simulate runs m to completion. With a trace span it drives the machine
 // through RunBoundaries, recording one child span per region stretch (up
 // to maxRegionSpans) — span names carry the boundary index, so the trace
-// structure is a pure function of the workload's region schedule. Sources
-// that count no boundaries (or a nil span) take the plain Run path with
-// identical simulated results.
-func simulate(m *machine.Machine, maxSim float64, sp *obs.Span) float64 {
-	if sp == nil {
+// structure is a pure function of the workload's region schedule. With a
+// flight recorder it samples the machine at entry, at every region
+// boundary (the same quiescent cuts the spans use) and after the run;
+// sampling continues past maxRegionSpans even though spans stop. Sources
+// that count no boundaries (or a nil span and recorder) take the plain
+// Run path with identical simulated results.
+func simulate(m *machine.Machine, maxSim float64, sp *obs.Span, rec *timeline.Recorder) float64 {
+	if sp == nil && rec == nil {
 		return m.Run(maxSim)
 	}
-	cur := sp.Child("region-0")
+	if rec != nil {
+		m.RecordTimeline()
+	}
+	var cur *obs.Span
+	if sp != nil {
+		cur = sp.Child("region-0")
+	}
 	count := 0
 	sec := m.RunBoundaries(maxSim, func(n int) bool {
-		cur.Set("end_boundary", n)
-		cur.End()
-		count++
-		if count >= maxRegionSpans {
-			cur = nil
-			return false
+		if rec != nil {
+			m.RecordTimeline()
 		}
-		cur = sp.Child(fmt.Sprintf("region-%d", n))
-		return true
+		if cur != nil {
+			cur.Set("end_boundary", n)
+			cur.End()
+			count++
+			if count >= maxRegionSpans {
+				cur = nil
+			} else {
+				cur = sp.Child(fmt.Sprintf("region-%d", n))
+			}
+		}
+		return cur != nil || rec != nil
 	})
 	cur.End()
+	if rec != nil {
+		m.RecordTimeline()
+	}
 	return sec
 }
 

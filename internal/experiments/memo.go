@@ -13,6 +13,7 @@ import (
 	"repro/internal/scenario"
 	"repro/internal/sched"
 	"repro/internal/stats"
+	"repro/internal/timeline"
 )
 
 // maxSnapshotsPerRun caps how many region boundaries one run snapshots.
@@ -245,6 +246,7 @@ func memoRun(e scenario.Entry, g governor.Governor, opt Options, seed int64) (re
 			return RunResult{}, 0, 0, err
 		}
 		defer m.Close()
+		m.SetTimeline(opt.Timeline)
 		att, err := g.Attach(m)
 		if err != nil {
 			return RunResult{}, 0, 0, err
@@ -273,6 +275,10 @@ func memoRun(e scenario.Entry, g governor.Governor, opt Options, seed int64) (re
 			ws = sched.NewWorkSharingAt(cfg.Cores, gen, seed, cp)
 			restore.Set("from_k", fromK)
 			restore.End()
+			// The prefix-restore marker: a resumed timeline legitimately
+			// starts here rather than at boot, so the marker is what lets a
+			// reader line it up against a fresh run's recording.
+			opt.Timeline.AddEvent(timeline.Event{T: m.Now(), Kind: timeline.KindMemoRestore, From: fromK})
 		} else {
 			ws = sched.NewWorkSharing(cfg.Cores, gen, seed)
 		}
@@ -281,7 +287,13 @@ func memoRun(e scenario.Entry, g governor.Governor, opt Options, seed int64) (re
 		stored := 0
 		sim := opt.Span.Child("simulate")
 		sim.Set("resume_sim_seconds", resumeNow)
+		if opt.Timeline != nil {
+			m.RecordTimeline()
+		}
 		m.RunBoundaries(maxSim-resumeNow, func(n int) bool {
+			if opt.Timeline != nil {
+				m.RecordTimeline()
+			}
 			if !points[n] {
 				return true
 			}
@@ -298,6 +310,9 @@ func memoRun(e scenario.Entry, g governor.Governor, opt Options, seed int64) (re
 			return true
 		})
 		sim.Set("snapshots_stored", stored)
+		if opt.Timeline != nil {
+			m.RecordTimeline()
+		}
 		finishSpan(sim, m, m.Now()-resumeNow)
 		if !m.Finished() {
 			return RunResult{}, resumeNow, stored, fmt.Errorf("experiments: %s/%s did not finish in %.0f simulated seconds", e.Name, g.Name(), maxSim)

@@ -9,6 +9,7 @@ import (
 	"repro/internal/freq"
 	"repro/internal/machine"
 	"repro/internal/msr"
+	"repro/internal/timeline"
 )
 
 // DefaultDDCMLevel is the duty-cycle step matching the paper's ≈70%
@@ -25,6 +26,12 @@ const ddcmQuietUncore freq.Ratio = 22
 // capture as "boot state".
 func failAttach(dev *msr.Device, err error) error {
 	return errors.Join(err, dev.Restore())
+}
+
+// attachEvent marks a governor taking control on the machine's flight
+// recorder (nil-safe, observability only).
+func attachEvent(m *machine.Machine, note string) {
+	m.Timeline().AddEvent(timeline.Event{T: m.Now(), Kind: timeline.KindAttach, Note: note})
 }
 
 // pinCores writes ratio to every core's IA32_PERF_CTL through the device.
@@ -59,6 +66,7 @@ func (defaultGovernor) Attach(m *machine.Machine) (*Attachment, error) {
 		return nil, failAttach(dev, err)
 	}
 	m.SetFirmware(DefaultAutoUFS())
+	attachEvent(m, "default: performance cores, auto uncore")
 	return newAttachment(nil, func() error {
 		m.SetFirmware(nil)
 		return dev.Restore()
@@ -99,6 +107,8 @@ func (g *cuttlefishGovernor) Attach(m *machine.Machine) (*Attachment, error) {
 	if err != nil {
 		return nil, failAttach(dev, fmt.Errorf("governor: %s: %w", g.name, err))
 	}
+	d.SetTimeline(m.Timeline())
+	attachEvent(m, g.name)
 	comp := &machine.Component{Period: g.cfg.TinvSec, Core: g.cfg.PinnedCore, Tick: d.Tick}
 	m.Schedule(comp, m.Now()+g.cfg.TinvSec)
 	att := newAttachment(d, func() error {
@@ -158,6 +168,7 @@ func (g staticGovernor) Attach(m *machine.Machine) (*Attachment, error) {
 	if err := pinUncore(m, m.Config().UncoreGrid.Clamp(uf)); err != nil {
 		return nil, failAttach(dev, err)
 	}
+	attachEvent(m, fmt.Sprintf("static: cf=%d uf=%d", cf, uf))
 	return newAttachment(nil, dev.Restore), nil
 }
 
@@ -197,6 +208,8 @@ func (g ddcmGovernor) Attach(m *machine.Machine) (*Attachment, error) {
 			return nil, failAttach(dev, fmt.Errorf("governor: core %d: %w", c, err))
 		}
 	}
+	attachEvent(m, fmt.Sprintf("ddcm: cf=%d level=%d", cf, g.level))
+	m.Timeline().AddEvent(timeline.Event{T: m.Now(), Kind: timeline.KindDDCM, To: int(g.level)})
 	return newAttachment(nil, dev.Restore), nil
 }
 
@@ -218,6 +231,7 @@ func (powersaveGovernor) Attach(m *machine.Machine) (*Attachment, error) {
 	if err := pinUncore(m, m.Config().UncoreGrid.Min); err != nil {
 		return nil, failAttach(dev, err)
 	}
+	attachEvent(m, "powersave: all domains at minimum")
 	return newAttachment(nil, dev.Restore), nil
 }
 
@@ -268,10 +282,12 @@ func (g ondemandGovernor) Attach(m *machine.Machine) (*Attachment, error) {
 		ratios[c] = cfg.CoreGrid.Min
 	}
 	busyInstr := ondemandBusyIPS * g.periodSec
+	tl := m.Timeline()
+	attachEvent(m, "ondemand: reactive per-core DVFS")
 	var tickErr error
 	comp := &machine.Component{
 		Period: g.periodSec,
-		Tick: func(float64) float64 {
+		Tick: func(now float64) float64 {
 			if tickErr != nil {
 				return 0
 			}
@@ -294,6 +310,7 @@ func (g ondemandGovernor) Attach(m *machine.Machine) (*Attachment, error) {
 					tickErr = err
 					return 0
 				}
+				tl.AddEvent(timeline.Event{T: now, Kind: timeline.KindDVFS, Core: c, From: int(ratios[c]), To: int(want)})
 				ratios[c] = want
 			}
 			return 0

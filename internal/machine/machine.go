@@ -27,6 +27,7 @@ import (
 	"repro/internal/msr"
 	"repro/internal/perfmon"
 	"repro/internal/power"
+	"repro/internal/timeline"
 	"repro/internal/workload"
 )
 
@@ -102,6 +103,11 @@ type Machine struct {
 	profQuanta int64
 
 	dueBuf []*Component // reusable due-component buffer
+
+	// timeline is the optional flight recorder. It is runtime wiring, not
+	// configuration: it lives outside Config so snapshots, spec hashes and
+	// memo keys never see it, and a nil recorder costs nothing.
+	timeline *timeline.Recorder
 }
 
 // Profile is the engine's wall-clock self-accounting: how long batch
@@ -379,6 +385,56 @@ func (m *Machine) Utilization(i int) float64 {
 		return 0
 	}
 	return (c.busySec + c.stallSec) / total
+}
+
+// SetTimeline attaches a flight recorder. Like SetSource it is runtime
+// wiring: the recorder is invisible to snapshots and machine identity.
+// A nil recorder disables recording.
+func (m *Machine) SetTimeline(rec *timeline.Recorder) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.timeline = rec
+}
+
+// Timeline returns the attached flight recorder (nil when disabled).
+// Governors fetch it at attach time to record their decision events.
+func (m *Machine) Timeline() *timeline.Recorder {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.timeline
+}
+
+// RecordTimeline captures one machine sample into the attached recorder.
+// Call it at quiescent cuts (between batches, no lock held) — the same
+// points RunBoundaries fires its callback. A nil recorder makes this a
+// no-op with no allocation.
+func (m *Machine) RecordTimeline() {
+	m.mu.Lock()
+	rec := m.timeline
+	if rec == nil {
+		m.mu.Unlock()
+		return
+	}
+	s := timeline.Sample{
+		T:          m.now,
+		Cores:      make([]int, len(m.cores)),
+		Uncore:     int(m.uncoreRatio),
+		Instr:      m.totalInstr,
+		MissLocal:  m.totalMissL,
+		MissRemote: m.totalMissR,
+		DemandEWMA: m.demandEWMA,
+	}
+	for i := range m.cores {
+		s.Cores[i] = int(m.cores[i].ratio)
+		s.SumCoreGHz += m.cores[i].ratio.GHz()
+	}
+	b := m.boundary
+	m.mu.Unlock()
+	if b != nil {
+		s.Boundary = b.BoundaryCount()
+	}
+	s.EnergyJ = m.rapl.TotalJoules()
+	rec.AddSample(s)
 }
 
 // StealCoreTime removes sec seconds from core i's next quantum; used by

@@ -14,11 +14,12 @@ import (
 // trace to a directory as Chrome trace-event JSON. A nil *TraceStore is a
 // no-op, so the service can run untraced through the same code path.
 type TraceStore struct {
-	mu   sync.Mutex
-	cap  int
-	dir  string
-	ring []*Trace          // oldest first
-	byID map[string]*Trace // latest trace per ID wins
+	mu      sync.Mutex
+	cap     int
+	dir     string
+	ring    []*Trace          // oldest first
+	byID    map[string]*Trace // latest trace per ID wins
+	evicted uint64
 }
 
 // NewTraceStore returns a store keeping up to capacity traces (minimum 1).
@@ -47,6 +48,7 @@ func (s *TraceStore) Save(t *Trace) error {
 		if s.byID[evict.ID()] == evict {
 			delete(s.byID, evict.ID())
 		}
+		s.evicted++
 	}
 	if id != "" {
 		s.byID[id] = t
@@ -119,4 +121,24 @@ func (s *TraceStore) Len() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.ring)
+}
+
+// Evicted reports how many traces the retention cap has dropped since
+// the store was created — the figure a long-lived cfserve exposes so
+// operators can tell a short history from a quiet one.
+func (s *TraceStore) Evicted() uint64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.evicted
+}
+
+// Cap reports the retention capacity.
+func (s *TraceStore) Cap() int {
+	if s == nil {
+		return 0
+	}
+	return s.cap
 }

@@ -1,0 +1,45 @@
+package obs
+
+import (
+	"repro/internal/timeline"
+)
+
+// MergeTimeline folds a flight recorder into a trace as Chrome counter
+// tracks (per-lane uncore ratio, aggregate IPC, cumulative energy, miss
+// demand) and instant markers for governor decision events, so one
+// Perfetto file shows wall-clock spans alongside the simulated-time
+// machine story. Counter timestamps are simulated seconds scaled to the
+// microsecond timescale, keeping the counter tracks a pure function of
+// simulation state. Nil-safe on both sides.
+func MergeTimeline(t *Trace, rec *timeline.Recorder) {
+	if t == nil || rec == nil {
+		return
+	}
+	ex := rec.Export()
+	for i, ln := range ex.Lanes {
+		// Lane 0 is the request lane in span traces; repetition lanes
+		// start at 1 (matching ChildLane(fmt("rep-%d", r), r+1)).
+		lane := i + 1
+		prefix := ln.Lane
+		if prefix == "" {
+			prefix = "timeline"
+		}
+		for _, s := range ln.Samples {
+			ts := s.T * 1e6
+			t.AddCounter(prefix+"/uncore_ratio", lane, ts, map[string]any{"ratio": s.Uncore})
+			t.AddCounter(prefix+"/ipc", lane, ts, map[string]any{"ipc": s.IPC})
+			t.AddCounter(prefix+"/energy_j", lane, ts, map[string]any{"joules": s.EnergyJ})
+			t.AddCounter(prefix+"/demand_ewma", lane, ts, map[string]any{"miss_per_sec": s.DemandEWMA})
+		}
+		for _, e := range ln.Events {
+			args := map[string]any{"kind": e.Kind}
+			if e.From != 0 || e.To != 0 {
+				args["from"], args["to"] = e.From, e.To
+			}
+			if e.Note != "" {
+				args["note"] = e.Note
+			}
+			t.AddInstant(prefix+"/"+e.Kind, lane, e.T*1e6, args)
+		}
+	}
+}

@@ -28,11 +28,13 @@ import (
 // Span.Child, export with WriteChrome or Export. Safe for concurrent use:
 // repetitions of one run record sibling spans from pool workers.
 type Trace struct {
-	mu    sync.Mutex
-	id    string
-	base  time.Time
-	spans []*Span
-	root  *Span
+	mu         sync.Mutex
+	id         string
+	parentSpan string // external span this trace's root is parented under
+	base       time.Time
+	spans      []*Span
+	root       *Span
+	extra      []chromeEvent // counter/instant events merged from timelines
 }
 
 // NewTrace starts a trace. id is the spec's content hash when known; it
@@ -41,6 +43,23 @@ type Trace struct {
 func NewTrace(id string) *Trace {
 	t := &Trace{id: id, base: time.Now()}
 	t.root = t.newSpan(nil, "request", 0)
+	return t
+}
+
+// NewTraceUnder starts a trace whose root span is parented under a span
+// from another process (cross-process stitching): the root's ID derives
+// from the remote parent exactly as a local child's would, so the client
+// and server trees link into one trace when laid side by side. The
+// remote parent appears in exports as the root's parent and in the
+// trace-level parent_span field.
+func NewTraceUnder(id, parentSpanID string) *Trace {
+	if parentSpanID == "" {
+		return NewTrace(id)
+	}
+	t := &Trace{id: id, parentSpan: parentSpanID, base: time.Now()}
+	s := &Span{t: t, id: spanID(parentSpanID, "request"), parent: parentSpanID, name: "request", start: time.Now()}
+	t.spans = append(t.spans, s)
+	t.root = s
 	return t
 }
 
@@ -111,6 +130,16 @@ func (t *Trace) newSpan(parent *Span, name string, tid int) *Span {
 	return s
 }
 
+// ID returns the span's deterministic identity (the hash of its path
+// from the root). Nil-safe; used to propagate trace context across
+// processes.
+func (s *Span) ID() string {
+	if s == nil {
+		return ""
+	}
+	return s.id
+}
+
 // Child opens a sub-span on the parent's lane. Nil-safe.
 func (s *Span) Child(name string) *Span {
 	if s == nil {
@@ -170,8 +199,11 @@ type SpanExport struct {
 // TraceExport is the structural JSON form of a trace: the span tree with
 // deterministic IDs and wall-clock timings.
 type TraceExport struct {
-	TraceID string       `json:"trace_id"`
-	Spans   []SpanExport `json:"spans"`
+	TraceID string `json:"trace_id"`
+	// ParentSpan is the remote span this trace's root is parented under
+	// (cross-process stitching); empty for a locally rooted trace.
+	ParentSpan string       `json:"parent_span,omitempty"`
+	Spans      []SpanExport `json:"spans"`
 }
 
 // snapshotLocked copies the span list; callers hold t.mu.
@@ -210,7 +242,10 @@ func (s *Span) export(base time.Time) SpanExport {
 // so the layout is stable for equal structures.
 func (t *Trace) Export() TraceExport {
 	id, spans, base := t.snapshot()
-	out := TraceExport{TraceID: id, Spans: make([]SpanExport, 0, len(spans))}
+	t.mu.Lock()
+	parent := t.parentSpan
+	t.mu.Unlock()
+	out := TraceExport{TraceID: id, ParentSpan: parent, Spans: make([]SpanExport, 0, len(spans))}
 	for _, s := range spans {
 		out.Spans = append(out.Spans, s.export(base))
 	}
@@ -243,13 +278,51 @@ type chromeTrace struct {
 	Metadata    map[string]string `json:"metadata,omitempty"`
 }
 
+// AddCounter records a Chrome counter event (ph "C") merged into
+// WriteChrome's output: Perfetto renders each named counter as a value
+// track. tsMicros is the event's timestamp in the trace's microsecond
+// timescale — timeline counters use simulated seconds × 1e6, which makes
+// the counter tracks a pure function of simulation state even though
+// span timestamps are wall-clock. Nil-safe.
+func (t *Trace) AddCounter(name string, lane int, tsMicros float64, values map[string]any) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.extra = append(t.extra, chromeEvent{Name: name, Cat: "timeline", Ph: "C", Ts: tsMicros, Pid: 1, Tid: lane, Args: values})
+	t.mu.Unlock()
+}
+
+// AddInstant records a Chrome instant event (ph "i"), used for governor
+// decision markers on timeline lanes. Same timescale rules as
+// AddCounter. Nil-safe.
+func (t *Trace) AddInstant(name string, lane int, tsMicros float64, args map[string]any) {
+	if t == nil {
+		return
+	}
+	if args == nil {
+		args = map[string]any{}
+	}
+	args["s"] = "t" // instant scope: thread
+	t.mu.Lock()
+	t.extra = append(t.extra, chromeEvent{Name: name, Cat: "timeline", Ph: "i", Ts: tsMicros, Pid: 1, Tid: lane, Args: args})
+	t.mu.Unlock()
+}
+
 // WriteChrome writes the trace in Chrome trace-event format: open the
 // file at chrome://tracing or https://ui.perfetto.dev.
 func (t *Trace) WriteChrome(w io.Writer) error {
 	id, spans, base := t.snapshot()
+	t.mu.Lock()
+	parent := t.parentSpan
+	extra := append([]chromeEvent(nil), t.extra...)
+	t.mu.Unlock()
 	ct := chromeTrace{
-		TraceEvents: make([]chromeEvent, 0, len(spans)),
+		TraceEvents: make([]chromeEvent, 0, len(spans)+len(extra)),
 		Metadata:    map[string]string{"trace_id": id},
+	}
+	if parent != "" {
+		ct.Metadata["parent_span"] = parent
 	}
 	for _, s := range spans {
 		e := s.export(base)
@@ -269,6 +342,7 @@ func (t *Trace) WriteChrome(w io.Writer) error {
 			Args: args,
 		})
 	}
+	ct.TraceEvents = append(ct.TraceEvents, extra...)
 	sort.SliceStable(ct.TraceEvents, func(i, j int) bool {
 		if ct.TraceEvents[i].Tid != ct.TraceEvents[j].Tid {
 			return ct.TraceEvents[i].Tid < ct.TraceEvents[j].Tid

@@ -10,8 +10,10 @@ import (
 	"time"
 
 	"repro/internal/memo"
+	"repro/internal/obs"
 	"repro/internal/service"
 	"repro/internal/stats"
+	"repro/internal/timeline"
 )
 
 // Config tunes a sweep run.
@@ -56,6 +58,10 @@ type Event struct {
 	// Memo is the backend's prefix-snapshot detail for an executed spec;
 	// nil when the backend ran without memoization or served a cache hit.
 	Memo *memo.RunStatsView
+	// Convergence is the backend's flight-recorder summary for an
+	// executed spec; nil when the backend ran without timelines or
+	// served a cache hit.
+	Convergence *timeline.Convergence
 	// Err is the attempt's failure; nil for completion events.
 	Err error
 }
@@ -73,6 +79,9 @@ type SpecResult struct {
 	// Memo is the serving backend's prefix-snapshot detail; nil when the
 	// spec was a cache hit or the backend ran without memoization.
 	Memo *memo.RunStatsView
+	// Convergence is the serving backend's flight-recorder summary; nil
+	// when the spec was a cache hit or the backend ran without timelines.
+	Convergence *timeline.Convergence
 	// Err is non-nil when every attempt failed; Body is then nil.
 	Err error
 }
@@ -107,6 +116,13 @@ type Summary struct {
 	// Memo aggregates the backends' prefix-snapshot activity across all
 	// executed specs; nil when no backend reported memo detail.
 	Memo *memo.RunStatsView `json:"memo,omitempty"`
+	// Convergence reduces the executed specs' flight-recorder summaries
+	// per governor (cells with no governor fall under "default"):
+	// run-weighted mean time-to-stable-frequency, total exploration
+	// quanta and total energy spent exploring. Derived purely from
+	// timeline data, so it never appears when backends run without
+	// timelines — and never affects Aggregate()'s comparison bytes.
+	Convergence map[string]timeline.Convergence `json:"convergence,omitempty"`
 }
 
 // String renders the one-line operational summary the CLI prints (and
@@ -141,8 +157,23 @@ func (s Summary) String() string {
 		memoNote = fmt.Sprintf(", memo: %d prefix hit(s) skipping %d/%d quanta, %d snapshot(s) stored",
 			m.PrefixHits, m.QuantaSaved, m.QuantaTotal, m.SnapshotsStored)
 	}
-	return fmt.Sprintf("%s, executed: %d, cache hits: %d, disk hits: %d, failovers: %d, failed: %d%s [%s]",
-		specs, s.Executed, s.Hits, s.DiskHits, s.Failovers, s.Failed, memoNote, strings.Join(per, "; "))
+	convNote := ""
+	if len(s.Convergence) > 0 {
+		govs := make([]string, 0, len(s.Convergence))
+		for g := range s.Convergence {
+			govs = append(govs, g)
+		}
+		sort.Strings(govs)
+		parts := make([]string, len(govs))
+		for i, g := range govs {
+			c := s.Convergence[g]
+			parts[i] = fmt.Sprintf("%s stable %.2fs, %d exploration quanta, %.1f J exploring (n=%d)",
+				g, c.TimeToStableSec, c.ExplorationQuanta, c.ExplorationEnergyJ, c.Runs)
+		}
+		convNote = ", convergence: " + strings.Join(parts, "; ")
+	}
+	return fmt.Sprintf("%s, executed: %d, cache hits: %d, disk hits: %d, failovers: %d, failed: %d%s%s [%s]",
+		specs, s.Executed, s.Hits, s.DiskHits, s.Failovers, s.Failed, memoNote, convNote, strings.Join(per, "; "))
 }
 
 // SweepResult is a completed sweep: per-spec results in expansion
@@ -285,6 +316,18 @@ func (o *Orchestrator) run(ctx context.Context, specs []service.RunSpec, dropped
 			m.QuantaTotal += r.Memo.QuantaTotal
 			m.SnapshotsStored += r.Memo.SnapshotsStored
 		}
+		if r.Convergence != nil {
+			gov := r.Spec.Governor
+			if gov == "" {
+				gov = "default"
+			}
+			if res.Summary.Convergence == nil {
+				res.Summary.Convergence = map[string]timeline.Convergence{}
+			}
+			agg := res.Summary.Convergence[gov]
+			agg.Add(*r.Convergence)
+			res.Summary.Convergence[gov] = agg
+		}
 		if r.Err != nil {
 			res.Summary.Failed++
 			if firstErr == nil {
@@ -344,11 +387,12 @@ func (o *Orchestrator) runSpec(ctx context.Context, spec service.RunSpec, total,
 		out.Attempts = attempt
 		if err == nil {
 			out.Body, out.Outcome, out.Backend, out.Memo = res.Body, res.Outcome, backend.Name(), res.Memo
+			out.Convergence = res.Convergence
 			doneMu.Lock()
 			*done++
 			d := *done
 			doneMu.Unlock()
-			o.emit(Event{Done: d, Total: total, Duplicates: dropped, Spec: spec, Hash: hash, Backend: backend.Name(), Outcome: res.Outcome, Attempt: attempt, Memo: res.Memo})
+			o.emit(Event{Done: d, Total: total, Duplicates: dropped, Spec: spec, Hash: hash, Backend: backend.Name(), Outcome: res.Outcome, Attempt: attempt, Memo: res.Memo, Convergence: res.Convergence})
 			return out
 		}
 		lastErr = fmt.Errorf("%s: %w", backend.Name(), err)
@@ -411,6 +455,33 @@ func (o *Orchestrator) release(i int, success bool, dur time.Duration, retry boo
 			st.quarantines++
 		}
 	}
+}
+
+// RegisterMetrics exposes the orchestrator's dispatch health on a
+// metrics registry as summary-only counters: total dispatches,
+// failures, retry dispatches and quarantine transitions across all
+// backends. The values are read from the dispatcher's book-keeping at
+// scrape time, so a long-lived orchestrator (cfserve embedding, or a
+// looped sweep) reports its lifetime totals.
+func (o *Orchestrator) RegisterMetrics(m *obs.Registry) {
+	if o == nil || m == nil {
+		return
+	}
+	sum := func(pick func(*backendState) int) func() float64 {
+		return func() float64 {
+			o.mu.Lock()
+			defer o.mu.Unlock()
+			total := 0
+			for i := range o.states {
+				total += pick(&o.states[i])
+			}
+			return float64(total)
+		}
+	}
+	m.CounterFunc("cf_orch_runs_total", "Spec executions dispatched to backends.", sum(func(st *backendState) int { return st.runs }))
+	m.CounterFunc("cf_orch_failures_total", "Backend attempts that failed.", sum(func(st *backendState) int { return st.failures }))
+	m.CounterFunc("cf_orch_retries_total", "Re-attempt dispatches after a failed attempt.", sum(func(st *backendState) int { return st.retries }))
+	m.CounterFunc("cf_orch_quarantines_total", "Backend transitions into the quarantined state.", sum(func(st *backendState) int { return st.quarantines }))
 }
 
 // emit serializes OnEvent callbacks so observers need no locking.

@@ -1,0 +1,123 @@
+package orchestrator
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/service"
+	"repro/internal/timeline"
+)
+
+// convBackend serves specReport bodies with a per-spec convergence
+// summary attached, like a timeline-armed cfserve.
+type convBackend struct {
+	stubBackend
+}
+
+func (b *convBackend) Run(ctx context.Context, spec service.RunSpec) (service.Result, error) {
+	res, err := b.stubBackend.Run(ctx, spec)
+	if err != nil {
+		return res, err
+	}
+	res.Convergence = &timeline.Convergence{
+		Runs:               1,
+		TimeToStableSec:    2.5,
+		ExplorationQuanta:  10,
+		ExplorationEnergyJ: 5,
+	}
+	return res, nil
+}
+
+// TestSweepAggregatesConvergence checks the orchestrator reduces per-run
+// flight-recorder summaries into per-governor convergence stats on the
+// summary, and that the one-line rendering surfaces them.
+func TestSweepAggregatesConvergence(t *testing.T) {
+	b := &convBackend{stubBackend{name: "a"}}
+	o, err := New(Config{Backends: []Backend{b}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := o.Run(context.Background(), smallSweep())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Summary.Convergence) != 2 {
+		t.Fatalf("convergence map = %+v, want default + cuttlefish", res.Summary.Convergence)
+	}
+	for _, gov := range []string{"default", "cuttlefish"} {
+		c, ok := res.Summary.Convergence[gov]
+		// 6 cells per governor (2 benchmarks × 3 seeds), 1 rep each.
+		if !ok || c.Runs != 6 || c.ExplorationQuanta != 60 || c.TimeToStableSec != 2.5 {
+			t.Errorf("%s convergence = %+v ok=%v, want 6 runs, 60 quanta, stable 2.5", gov, c, ok)
+		}
+	}
+	line := res.Summary.String()
+	if !strings.Contains(line, "convergence:") || !strings.Contains(line, "cuttlefish stable 2.50s") {
+		t.Errorf("summary line lacks convergence note: %s", line)
+	}
+	for i, r := range res.Results {
+		if r.Convergence == nil {
+			t.Errorf("result %d lost its convergence detail", i)
+		}
+	}
+}
+
+// TestSummaryOmitsConvergenceWithoutTimelines pins the common line: a
+// backend that reports no convergence adds nothing to the summary, so
+// the greppable all-healthy rendering is unchanged.
+func TestSummaryOmitsConvergenceWithoutTimelines(t *testing.T) {
+	b := &stubBackend{name: "a"}
+	o, err := New(Config{Backends: []Backend{b}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := o.Run(context.Background(), smallSweep())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Summary.Convergence != nil {
+		t.Errorf("convergence = %+v, want nil without timelines", res.Summary.Convergence)
+	}
+	if strings.Contains(res.Summary.String(), "convergence") {
+		t.Errorf("summary line mentions convergence: %s", res.Summary.String())
+	}
+}
+
+// TestOrchestratorMetrics drives a sweep with one flaky backend and
+// scrapes the registered counters: runs, failures, retries and
+// quarantines must reflect the dispatcher's book-keeping.
+func TestOrchestratorMetrics(t *testing.T) {
+	dying := &stubBackend{name: "dying", dieAfter: -1} // dead from the start
+	healthy := &stubBackend{name: "healthy"}
+	o, err := New(Config{Backends: []Backend{dying, healthy}, RetryBase: 1, RetryMax: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	o.RegisterMetrics(reg)
+	if _, err := o.Run(context.Background(), smallSweep()); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"cf_orch_runs_total", "cf_orch_failures_total",
+		"cf_orch_retries_total", "cf_orch_quarantines_total",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics output missing %s:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "cf_orch_quarantines_total 1") {
+		t.Errorf("dead backend should quarantine exactly once:\n%s", out)
+	}
+	if strings.Contains(out, "cf_orch_failures_total 0\n") {
+		t.Errorf("failures counter never moved:\n%s", out)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/scenario"
 )
@@ -27,6 +28,12 @@ import (
 type Client struct {
 	BaseURL    string
 	HTTPClient *http.Client
+	// Trace, when set, is propagated on submissions as an
+	// X-Trace-Parent header carrying the trace ID and root span ID, so
+	// the server parents its own span tree under this client's request
+	// span and the two processes export as one stitched trace. Purely
+	// observational: it never affects report bytes or cache identity.
+	Trace *obs.Trace
 	// MaxAttempts caps submissions of one spec, counting the first
 	// (0 = 8; 1 disables retrying).
 	MaxAttempts int
@@ -176,6 +183,9 @@ func (c *Client) post(ctx context.Context, raw []byte) (res Result, retryable bo
 		return Result{}, false, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if c.Trace != nil {
+		req.Header.Set(HeaderTraceParent, FormatTraceParent(c.Trace.ID(), c.Trace.Root().ID()))
+	}
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
 		return Result{}, false, err
@@ -195,6 +205,9 @@ func (c *Client) post(ctx context.Context, raw []byte) (res Result, retryable bo
 	}
 	if mv, ok := ParseMemoHeader(resp.Header.Get(HeaderMemo)); ok {
 		res.Memo = &mv
+	}
+	if cv, ok := ParseTimelineHeader(resp.Header.Get(HeaderTimeline)); ok {
+		res.Convergence = &cv
 	}
 	return res, false, nil
 }

@@ -11,6 +11,7 @@ import (
 	"repro/internal/governor"
 	"repro/internal/memo"
 	"repro/internal/scenario"
+	"repro/internal/timeline"
 )
 
 // Cache-status and content-address response headers. The cache outcome
@@ -23,7 +24,77 @@ const (
 	HeaderHash  = "X-Spec-Hash"
 	HeaderJobID = "X-Job-Id"
 	HeaderMemo  = "X-Memo"
+	// HeaderTimeline carries the executed run's convergence summary
+	// (flight-recorder reduction); absent on cache hits.
+	HeaderTimeline = "X-Timeline"
+	// HeaderTraceParent is the request header propagating the client's
+	// trace context ("trace=<trace-id> span=<span-id>"); the server roots
+	// its trace under the span so the two trees stitch into one.
+	HeaderTraceParent = "X-Trace-Parent"
 )
+
+// FormatTraceParent renders trace context for the X-Trace-Parent header.
+func FormatTraceParent(traceID, spanID string) string {
+	return fmt.Sprintf("trace=%s span=%s", traceID, spanID)
+}
+
+// ParseTraceParent decodes FormatTraceParent's output; ok is false for an
+// empty or malformed value.
+func ParseTraceParent(s string) (traceID, spanID string, ok bool) {
+	for _, field := range strings.Fields(s) {
+		key, val, found := strings.Cut(field, "=")
+		if !found || val == "" {
+			return "", "", false
+		}
+		switch key {
+		case "trace":
+			traceID = val
+		case "span":
+			spanID = val
+		}
+	}
+	return traceID, spanID, spanID != ""
+}
+
+// FormatTimelineHeader renders a convergence summary as the X-Timeline
+// header value: space-separated key=value pairs, floats in %g.
+func FormatTimelineHeader(c timeline.Convergence) string {
+	return fmt.Sprintf("runs=%d stable_s=%g explore_quanta=%d explore_j=%g",
+		c.Runs, c.TimeToStableSec, c.ExplorationQuanta, c.ExplorationEnergyJ)
+}
+
+// ParseTimelineHeader decodes FormatTimelineHeader's output; unknown keys
+// are ignored so the format can grow. ok is false for an empty or
+// malformed value.
+func ParseTimelineHeader(s string) (timeline.Convergence, bool) {
+	var c timeline.Convergence
+	if s == "" {
+		return c, false
+	}
+	any := false
+	for _, field := range strings.Fields(s) {
+		key, val, found := strings.Cut(field, "=")
+		if !found {
+			return timeline.Convergence{}, false
+		}
+		f, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return timeline.Convergence{}, false
+		}
+		any = true
+		switch key {
+		case "runs":
+			c.Runs = int(f)
+		case "stable_s":
+			c.TimeToStableSec = f
+		case "explore_quanta":
+			c.ExplorationQuanta = int(f)
+		case "explore_j":
+			c.ExplorationEnergyJ = f
+		}
+	}
+	return c, any
+}
 
 // FormatMemoHeader renders one execution's memo activity as the X-Memo
 // header value: space-separated key=value pairs.
@@ -78,15 +149,17 @@ func ParseMemoHeader(s string) (memo.RunStatsView, bool) {
 //	GET    /v1/cache         cache tiers: LRU entries/bytes, store path/size
 //	DELETE /v1/cache         purge both tiers (LRU + persistent store)
 //	GET    /v1/runs/{id}/trace  span tree of the latest run of a spec hash
-//	GET    /v1/traces        trace IDs currently held
+//	GET    /v1/traces        trace IDs currently held (+ retention stats)
+//	GET    /v1/runs/{id}/timeline  flight-recorder timeline of a spec hash
+//	GET    /v1/timelines     timeline IDs currently held (+ retention stats)
 //	GET    /metrics          Prometheus text exposition
 //	GET    /healthz          liveness
 //
-// The trace routes accept the spec content hash (or a prefix) as {id} and
-// default to Chrome trace-event format; ?format=spans returns the
-// structural span-tree JSON instead. Both 404 unless the service was
-// built with a trace store. /metrics serves an empty body on a service
-// without a metrics registry.
+// The trace and timeline routes accept the spec content hash (or a
+// prefix) as {id}. Traces default to Chrome trace-event format;
+// ?format=spans returns the structural span-tree JSON instead. All four
+// 404 unless the service was built with the corresponding store.
+// /metrics serves an empty body on a service without a metrics registry.
 func NewHandler(s *Service) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/runs", func(w http.ResponseWriter, r *http.Request) {
@@ -122,7 +195,25 @@ func NewHandler(s *Service) http.Handler {
 			writeError(w, http.StatusNotFound, errors.New("tracing disabled (start cfserve with -trace-dir or -traces)"))
 			return
 		}
-		writeJSON(w, http.StatusOK, map[string]any{"traces": s.cfg.Traces.IDs()})
+		writeJSON(w, http.StatusOK, map[string]any{
+			"traces":   s.cfg.Traces.IDs(),
+			"capacity": s.cfg.Traces.Cap(),
+			"evicted":  s.cfg.Traces.Evicted(),
+		})
+	})
+	mux.HandleFunc("GET /v1/runs/{id}/timeline", func(w http.ResponseWriter, r *http.Request) {
+		handleTimeline(s, w, r)
+	})
+	mux.HandleFunc("GET /v1/timelines", func(w http.ResponseWriter, r *http.Request) {
+		if s.cfg.Timelines == nil {
+			writeError(w, http.StatusNotFound, errors.New("timelines disabled (start cfserve with -timelines)"))
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"timelines": s.cfg.Timelines.IDs(),
+			"capacity":  s.cfg.Timelines.Cap(),
+			"evicted":   s.cfg.Timelines.Evicted(),
+		})
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -157,6 +248,24 @@ func handleTrace(s *Service, w http.ResponseWriter, r *http.Request) {
 	_ = tr.WriteChrome(w)
 }
 
+// handleTimeline serves one run's flight-recorder timeline: the stored
+// JSON document (versioned schema, bit-deterministic for a given spec).
+func handleTimeline(s *Service, w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Timelines == nil {
+		writeError(w, http.StatusNotFound, errors.New("timelines disabled (start cfserve with -timelines)"))
+		return
+	}
+	id := r.PathValue("id")
+	data, ok := s.cfg.Timelines.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no timeline for %q (timelines hold executed runs only — cache hits run no simulation)", id))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(data)
+}
+
 func handleRuns(s *Service, w http.ResponseWriter, r *http.Request) {
 	var spec RunSpec
 	dec := json.NewDecoder(r.Body)
@@ -165,8 +274,11 @@ func handleRuns(s *Service, w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad spec: %w", err))
 		return
 	}
+	// Cross-process stitching: a client that traces its own side sends its
+	// root span; this request's trace roots under it.
+	_, parentSpan, _ := ParseTraceParent(r.Header.Get(HeaderTraceParent))
 	if async, _ := strconv.ParseBool(r.URL.Query().Get("async")); async {
-		jv, err := s.SubmitAsync(spec)
+		jv, err := s.SubmitAsyncUnder(spec, parentSpan)
 		if err != nil {
 			writeError(w, statusFor(err), err)
 			return
@@ -176,12 +288,12 @@ func handleRuns(s *Service, w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusAccepted, jv)
 		return
 	}
-	res, err := s.Submit(r.Context(), spec)
+	res, err := s.SubmitUnder(r.Context(), spec, parentSpan)
 	if err != nil {
 		writeError(w, statusFor(err), err)
 		return
 	}
-	writeReport(w, res.Hash, res.Outcome, res.Memo, res.Body)
+	writeReport(w, res.Hash, res.Outcome, res.Memo, res.Convergence, res.Body)
 }
 
 func handleJob(s *Service, w http.ResponseWriter, r *http.Request) {
@@ -193,7 +305,7 @@ func handleJob(s *Service, w http.ResponseWriter, r *http.Request) {
 	w.Header().Set(HeaderJobID, jv.ID)
 	switch jv.Status {
 	case JobDone:
-		writeReport(w, jv.Hash, jv.Outcome, jv.Memo, jv.Body)
+		writeReport(w, jv.Hash, jv.Outcome, jv.Memo, jv.Convergence, jv.Body)
 	case JobFailed:
 		writeError(w, http.StatusInternalServerError, errors.New(jv.Error))
 	default:
@@ -204,13 +316,17 @@ func handleJob(s *Service, w http.ResponseWriter, r *http.Request) {
 
 // writeReport sends the canonical report bytes verbatim — no re-encoding,
 // so the body a cache hit serves is the exact byte sequence the original
-// execution produced.
-func writeReport(w http.ResponseWriter, hash string, outcome Outcome, mv *memo.RunStatsView, body []byte) {
+// execution produced. The memo and timeline details ride out of band as
+// headers for the same reason.
+func writeReport(w http.ResponseWriter, hash string, outcome Outcome, mv *memo.RunStatsView, conv *timeline.Convergence, body []byte) {
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set(HeaderCache, string(outcome))
 	w.Header().Set(HeaderHash, hash)
 	if mv != nil {
 		w.Header().Set(HeaderMemo, FormatMemoHeader(*mv))
+	}
+	if conv != nil {
+		w.Header().Set(HeaderTimeline, FormatTimelineHeader(*conv))
 	}
 	w.WriteHeader(http.StatusOK)
 	w.Write(body)

@@ -16,6 +16,7 @@ import (
 	"repro/internal/runner"
 	"repro/internal/stats"
 	"repro/internal/store"
+	"repro/internal/timeline"
 )
 
 // Executor computes the report for one normalized spec. The default runs
@@ -78,6 +79,13 @@ type Config struct {
 	// executed runs (machine.Config.Profile); the numbers surface as span
 	// arguments on traced runs. Simulated results are unaffected.
 	Profile bool
+	// Timelines is the optional flight-recorder store: when set, every
+	// executed run (default executor only, like Memo) records a
+	// per-quantum machine/governor timeline retrievable at
+	// GET /v1/runs/{id}/timeline, merged into the run's trace as counter
+	// tracks, and reduced to convergence stats on the Result. Timelines
+	// live strictly outside canonical report bytes and cache keys.
+	Timelines *timeline.Store
 }
 
 func (c Config) withDefaults() Config {
@@ -124,6 +132,10 @@ type Result struct {
 	Outcome Outcome
 	Body    []byte
 	Memo    *memo.RunStatsView
+	// Convergence summarizes the execution's flight-recorder timeline
+	// (time-to-stable-frequency, exploration quanta, energy spent
+	// exploring); nil on cache hits and on timeline-disabled services.
+	Convergence *timeline.Convergence
 }
 
 // JobStatus is the lifecycle of an async submission.
@@ -138,13 +150,14 @@ const (
 
 // JobView is a point-in-time snapshot of an async job.
 type JobView struct {
-	ID      string             `json:"id"`
-	Hash    string             `json:"hash"`
-	Status  JobStatus          `json:"status"`
-	Outcome Outcome            `json:"outcome,omitempty"`
-	Error   string             `json:"error,omitempty"`
-	Memo    *memo.RunStatsView `json:"memo,omitempty"`
-	Body    []byte             `json:"-"`
+	ID          string                `json:"id"`
+	Hash        string                `json:"hash"`
+	Status      JobStatus             `json:"status"`
+	Outcome     Outcome               `json:"outcome,omitempty"`
+	Error       string                `json:"error,omitempty"`
+	Memo        *memo.RunStatsView    `json:"memo,omitempty"`
+	Convergence *timeline.Convergence `json:"convergence,omitempty"`
+	Body        []byte                `json:"-"`
 }
 
 // flight is one in-progress execution of a spec; every identical
@@ -158,6 +171,7 @@ type flight struct {
 	body    []byte
 	err     error
 	memo    *memo.RunStatsView
+	conv    *timeline.Convergence
 
 	// The first submitter's trace rides the flight: queueSpan covers
 	// enqueue-to-dequeue, the rest of the tree grows in execute. Both are
@@ -334,6 +348,18 @@ func (s *Service) registerMetrics() {
 		m.GaugeFunc("cf_memo_bytes", "Memo-tier snapshot bytes.",
 			f(func(i memo.Info) float64 { return float64(i.Bytes) }))
 	}
+	if ts := s.cfg.Traces; ts != nil {
+		m.GaugeFunc("cf_trace_store_entries", "Traces retained.",
+			func() float64 { return float64(ts.Len()) })
+		m.CounterFunc("cf_trace_store_evicted_total", "Traces dropped by the retention cap.",
+			func() float64 { return float64(ts.Evicted()) })
+	}
+	if tls := s.cfg.Timelines; tls != nil {
+		m.GaugeFunc("cf_timeline_store_entries", "Timelines retained.",
+			func() float64 { return float64(tls.Len()) })
+		m.CounterFunc("cf_timeline_store_evicted_total", "Timelines dropped by the retention cap.",
+			func() float64 { return float64(tls.Evicted()) })
+	}
 }
 
 // governorHist returns the per-governor execution-latency histogram,
@@ -383,10 +409,11 @@ func (s *Service) execute(ctx context.Context, fl *flight) {
 	start := time.Now()
 	var rep *report.RunReport
 	var err error
+	var rec *timeline.Recorder
 	if s.defaultExec {
 		// The in-process harness path carries the runtime wiring — memo
-		// tier, trace span, profiling — none of which is part of the spec's
-		// identity or the report's bytes.
+		// tier, trace span, profiling, flight recorder — none of which is
+		// part of the spec's identity or the report's bytes.
 		opt := fl.spec.Options()
 		opt.Span = exec
 		opt.Profile = s.cfg.Profile
@@ -395,6 +422,10 @@ func (s *Service) execute(ctx context.Context, fl *flight) {
 			rs = &memo.RunStats{}
 			opt.Memo = s.cfg.Memo
 			opt.MemoStats = rs
+		}
+		if s.cfg.Timelines != nil {
+			rec = timeline.New(fl.hash)
+			opt.Timeline = rec
 		}
 		rep, err = experiments.BuildReport(fl.spec.Experiment, fl.spec.Benchmark, opt)
 		if err == nil && rs != nil {
@@ -425,6 +456,17 @@ func (s *Service) execute(ctx context.Context, fl *flight) {
 	} else {
 		s.failed.Add(1)
 	}
+	if rec != nil && err == nil {
+		// The timeline is published before waiters wake: its bytes are a
+		// pure function of the spec, so a re-execution overwrites with
+		// identical content.
+		_ = s.cfg.Timelines.Save(fl.hash, rec)
+		conv := rec.Convergence()
+		fl.conv = &conv
+		// Counter tracks and decision markers join the span tree so one
+		// trace file carries the whole story.
+		obs.MergeTimeline(fl.trace, rec)
+	}
 	if fl.trace != nil {
 		root := fl.trace.Root()
 		root.Set("outcome", string(OutcomeMiss))
@@ -451,8 +493,16 @@ func (s *Service) finish(fl *flight, body []byte, err error) {
 // identical in-flight run, or enqueue and wait. A full queue rejects
 // immediately with ErrQueueFull rather than blocking the caller.
 func (s *Service) Submit(ctx context.Context, spec RunSpec) (Result, error) {
+	return s.SubmitUnder(ctx, spec, "")
+}
+
+// SubmitUnder is Submit with cross-process trace stitching: parentSpan is
+// the remote caller's span ID (from the X-Trace-Parent header), and this
+// request's trace roots under it so client and server trees link into one
+// trace. Empty parentSpan is plain Submit.
+func (s *Service) SubmitUnder(ctx context.Context, spec RunSpec, parentSpan string) (Result, error) {
 	start := time.Now()
-	adm, err := s.admit(spec)
+	adm, err := s.admit(spec, parentSpan)
 	if err != nil || adm.fl == nil { // hit or disk hit: born resolved
 		if err == nil {
 			s.hitLat.Observe(time.Since(start).Seconds())
@@ -476,7 +526,7 @@ func (s *Service) Submit(ctx context.Context, spec RunSpec) (Result, error) {
 			// cache-path histogram, not the cold-execution one.
 			s.hitLat.Observe(time.Since(start).Seconds())
 		}
-		return Result{Hash: fl.hash, Outcome: adm.outcome, Body: fl.body, Memo: fl.memo}, nil
+		return Result{Hash: fl.hash, Outcome: adm.outcome, Body: fl.body, Memo: fl.memo, Convergence: fl.conv}, nil
 	case <-ctx.Done():
 		// The flight keeps running; a later identical spec will hit the
 		// cache it populates.
@@ -516,10 +566,10 @@ func (s *Service) saveTrace(tr *obs.Trace, outcome Outcome, err error) {
 // request's span tree — admission, cache/store probes, then queue_wait or
 // coalesce_join. Tracing is wall-clock bookkeeping only: the bytes served
 // and the cache/store state transitions are identical with it off.
-func (s *Service) admit(spec RunSpec) (admission, error) {
+func (s *Service) admit(spec RunSpec, parentSpan string) (admission, error) {
 	var tr *obs.Trace
 	if s.cfg.Traces != nil {
-		tr = obs.NewTrace("")
+		tr = obs.NewTraceUnder("", parentSpan)
 	}
 	adm := tr.Root().Child("admission")
 	norm := spec.Normalized()
@@ -587,7 +637,13 @@ func (s *Service) admit(spec RunSpec) (admission, error) {
 // progress GET-style polling reads through Job. Cache hits return an
 // already-done job; backpressure still applies.
 func (s *Service) SubmitAsync(spec RunSpec) (JobView, error) {
-	adm, err := s.admit(spec)
+	return s.SubmitAsyncUnder(spec, "")
+}
+
+// SubmitAsyncUnder is SubmitAsync with cross-process trace stitching (see
+// SubmitUnder).
+func (s *Service) SubmitAsyncUnder(spec RunSpec, parentSpan string) (JobView, error) {
+	adm, err := s.admit(spec, parentSpan)
 	if err != nil {
 		return JobView{}, err
 	}
@@ -656,6 +712,7 @@ func (s *Service) view(j *job) JobView {
 			v.Status, v.Error = JobFailed, j.fl.err.Error()
 		} else {
 			v.Status, v.Body, v.Memo = JobDone, j.fl.body, j.fl.memo
+			v.Convergence = j.fl.conv
 		}
 	default:
 		if j.fl.started.Load() {

@@ -1,0 +1,112 @@
+package timeline
+
+import (
+	"strings"
+	"sync"
+)
+
+// Store keeps rendered timeline documents for recent runs, keyed by spec
+// hash, with a bounded capacity and oldest-first eviction — the timeline
+// counterpart of obs.TraceStore. Methods are nil-safe so a service with
+// timelines disabled threads a nil store through unchanged.
+type Store struct {
+	mu      sync.Mutex
+	cap     int
+	ring    []string // insertion order, oldest first
+	byID    map[string][]byte
+	evicted uint64
+}
+
+// NewStore returns a store retaining at most capacity timelines
+// (minimum 1).
+func NewStore(capacity int) *Store {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Store{cap: capacity, byID: make(map[string][]byte)}
+}
+
+// Save renders the recorder to JSON and retains it under id, evicting
+// the oldest entry past capacity. Saving an existing id refreshes its
+// bytes without consuming capacity.
+func (s *Store) Save(id string, rec *Recorder) error {
+	if s == nil || id == "" {
+		return nil
+	}
+	data, err := rec.JSON()
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.byID[id]; !ok {
+		s.ring = append(s.ring, id)
+		if len(s.ring) > s.cap {
+			old := s.ring[0]
+			s.ring = s.ring[1:]
+			delete(s.byID, old)
+			s.evicted++
+		}
+	}
+	s.byID[id] = data
+	return nil
+}
+
+// Get returns the stored JSON for id, trying an exact match first and
+// then a unique-enough prefix match (newest first), like trace lookup.
+func (s *Store) Get(id string) ([]byte, bool) {
+	if s == nil || id == "" {
+		return nil, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if data, ok := s.byID[id]; ok {
+		return data, true
+	}
+	for i := len(s.ring) - 1; i >= 0; i-- {
+		if strings.HasPrefix(s.ring[i], id) {
+			return s.byID[s.ring[i]], true
+		}
+	}
+	return nil, false
+}
+
+// IDs returns the retained ids, oldest first.
+func (s *Store) IDs() []string {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, len(s.ring))
+	copy(out, s.ring)
+	return out
+}
+
+// Len reports how many timelines are retained.
+func (s *Store) Len() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.ring)
+}
+
+// Evicted reports how many timelines capacity pressure has dropped.
+func (s *Store) Evicted() uint64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.evicted
+}
+
+// Cap reports the retention capacity.
+func (s *Store) Cap() int {
+	if s == nil {
+		return 0
+	}
+	return s.cap
+}
