@@ -1,0 +1,101 @@
+// Command cfvet is the determinism-boundary vetting tool: a multichecker
+// running the internal/lint analyzer suite over the repository.
+//
+//	go run ./cmd/cfvet ./...          # what CI runs; exit 1 on findings
+//	go run ./cmd/cfvet -list          # describe the analyzers
+//	go run ./cmd/cfvet -allows ./...  # audit every //cfvet:allow suppression
+//
+// Findings are suppressed per line with a mandatory reason:
+//
+//	//cfvet:allow(detsource) profiling wall-clock; never feeds simulated state
+//
+// A suppression without a reason, naming no check, or suppressing nothing
+// is itself reported — the audit trail is the contract.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	listFlag := flag.Bool("list", false, "describe the analyzers and exit")
+	allowsFlag := flag.Bool("allows", false, "print every //cfvet:allow suppression (and whether it is stale)")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: cfvet [-list] [-allows] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := lint.All()
+	if *listFlag {
+		for _, a := range analyzers {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	code, err := run(patterns, analyzers, *allowsFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cfvet:", err)
+		os.Exit(2)
+	}
+	os.Exit(code)
+}
+
+func run(patterns []string, analyzers []*lint.Analyzer, printAllows bool) (int, error) {
+	pkgs, err := lint.Load(".", patterns)
+	if err != nil {
+		return 0, err
+	}
+	wd, _ := os.Getwd()
+	findings := 0
+	var allAllows []*lint.Allow
+	for _, pkg := range pkgs {
+		res, err := lint.RunPackage(pkg, analyzers)
+		if err != nil {
+			return 0, err
+		}
+		for _, d := range res.Diagnostics {
+			findings++
+			fmt.Printf("%s:%d:%d: %s: %s\n", relPath(wd, d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+		}
+		allAllows = append(allAllows, res.Allows...)
+	}
+	if printAllows {
+		if len(allAllows) == 0 {
+			fmt.Println("no //cfvet:allow suppressions")
+		}
+		for _, a := range allAllows {
+			state := ""
+			if !a.Used {
+				state = "  [stale: suppresses nothing]"
+			}
+			fmt.Printf("%s:%d: allow(%s): %s%s\n", relPath(wd, a.Pos.Filename), a.Pos.Line, strings.Join(a.Checks, ","), a.Reason, state)
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "cfvet: %d finding(s)\n", findings)
+		return 1, nil
+	}
+	return 0, nil
+}
+
+func relPath(wd, path string) string {
+	if wd == "" {
+		return path
+	}
+	if rel, err := filepath.Rel(wd, path); err == nil && !strings.HasPrefix(rel, "..") {
+		return rel
+	}
+	return path
+}

@@ -1,0 +1,13 @@
+package lint
+
+// All returns the production cfvet analyzer suite, in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		DetSource,
+		MapOrder,
+		HashField,
+		MsrBracket,
+		AtomicMix,
+		BoundaryImport,
+	}
+}

@@ -1,0 +1,113 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+// Each analyzer gets failing-then-passing fixture coverage: the fixture
+// packages contain both flagged sites (declared with // want comments)
+// and clean idiomatic counterparts, plus the //cfvet:allow suppression
+// path.
+
+func TestDetSourceFixtures(t *testing.T) {
+	linttest.Run(t, "testdata/detsource/boundary", "repro/internal/machine", lint.DetSource)
+	linttest.Run(t, "testdata/detsource/outside", "repro/internal/orchestrator", lint.DetSource)
+}
+
+func TestMapOrderFixtures(t *testing.T) {
+	linttest.Run(t, "testdata/maporder", "fixture/maporder", lint.MapOrder)
+}
+
+func TestHashFieldFixtures(t *testing.T) {
+	a := lint.NewHashField([]lint.HashFieldRule{{
+		PkgPath:  "fixture/hashfield",
+		TypeName: "Spec",
+		Funcs:    []string{"Normalized", "Build"},
+	}})
+	linttest.Run(t, "testdata/hashfield", "fixture/hashfield", a)
+}
+
+func TestMsrBracketFixtures(t *testing.T) {
+	a := lint.NewMsrBracket([]string{"fixture/governor"})
+	linttest.Run(t, "testdata/msrbracket", "fixture/governor", a)
+}
+
+func TestAtomicMixFixtures(t *testing.T) {
+	linttest.Run(t, "testdata/atomicmix", "fixture/atomicmix", lint.AtomicMix)
+}
+
+func TestBoundaryImportFixtures(t *testing.T) {
+	linttest.Run(t, "testdata/boundaryimport/inside", "repro/internal/stats", lint.BoundaryImport)
+	linttest.Run(t, "testdata/boundaryimport/approved", "repro/internal/machine", lint.BoundaryImport)
+}
+
+// TestMsrBracketRealGovernors pins the production governor package: all
+// eight built-ins must pass the bracket check (this is the analyzer
+// running against real code, not a fixture).
+func TestMsrBracketRealGovernors(t *testing.T) {
+	pkgs, err := lint.Load("../..", []string{"./internal/governor"})
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	for _, pkg := range pkgs {
+		res, err := lint.RunPackage(pkg, []*lint.Analyzer{lint.MsrBracket})
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		for _, d := range res.Diagnostics {
+			t.Errorf("unexpected finding: %s", d)
+		}
+	}
+}
+
+// TestCfvetRepoClean is the acceptance gate: the full analyzer suite over
+// the whole repository must report nothing (all remaining true findings
+// are fixed or carry reasoned //cfvet:allow suppressions).
+func TestCfvetRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole repo")
+	}
+	pkgs, err := lint.Load("../..", []string{"./..."})
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("suspiciously few packages loaded: %d", len(pkgs))
+	}
+	for _, pkg := range pkgs {
+		res, err := lint.RunPackage(pkg, lint.All())
+		if err != nil {
+			t.Fatalf("run %s: %v", pkg.Path, err)
+		}
+		for _, d := range res.Diagnostics {
+			t.Errorf("finding: %s", d)
+		}
+	}
+}
+
+// TestSuppressionAudit pins that every committed //cfvet:allow is live:
+// a suppression that stops suppressing anything must be deleted, not
+// left to rot (stale allows are what make audits lie).
+func TestSuppressionAudit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole repo")
+	}
+	pkgs, err := lint.Load("../..", []string{"./..."})
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	for _, pkg := range pkgs {
+		res, err := lint.RunPackage(pkg, lint.All())
+		if err != nil {
+			t.Fatalf("run %s: %v", pkg.Path, err)
+		}
+		for _, a := range res.Allows {
+			if !a.Used {
+				t.Errorf("%s:%d: stale //cfvet:allow(%v) suppresses nothing — delete it", a.Pos.Filename, a.Pos.Line, a.Checks)
+			}
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AtomicMix flags struct fields that are accessed both through
+// sync/atomic and through plain reads/writes in the same package. This is
+// the shape of the publish-before-initialize race PR 8's -race run caught
+// on the flight-trace fields: one goroutine stores a value plainly
+// "because it happens before publication", another loads it atomically,
+// and the happens-before edge everyone assumed turns out not to exist on
+// some path. Mixed access is either a data race or an unstated invariant;
+// both belong in review. The fix is to use atomic access everywhere the
+// field is touched (or a mutex, or an atomic.Int64-style typed field,
+// which this analyzer cannot be misused with at all) — or to state the
+// invariant with a //cfvet:allow(atomicmix) suppression.
+var AtomicMix = &Analyzer{
+	Name: "atomicmix",
+	Doc: "flag struct fields accessed both via sync/atomic and via plain reads/writes " +
+		"(the publish-before-initialize race shape)",
+}
+
+func init() { AtomicMix.Run = runAtomicMix }
+
+func runAtomicMix(pass *Pass) error {
+	// Pass 1: every field whose address is taken for a sync/atomic call,
+	// and the selector nodes used to do it (exempt from pass 2).
+	atomicFields := map[*types.Var]ast.Node{} // field -> one atomic use site
+	atomicSites := map[*ast.SelectorExpr]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicCall(pass, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := arg.(*ast.UnaryExpr)
+				if !ok {
+					continue
+				}
+				sel, ok := un.X.(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				field := fieldVar(pass, sel)
+				if field == nil {
+					continue
+				}
+				atomicSites[sel] = true
+				if _, seen := atomicFields[field]; !seen {
+					atomicFields[field] = call
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return nil
+	}
+
+	// Pass 2: any other selection of those fields is a plain access.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || atomicSites[sel] {
+				return true
+			}
+			field := fieldVar(pass, sel)
+			if field == nil {
+				return true
+			}
+			site, isAtomic := atomicFields[field]
+			if !isAtomic {
+				return true
+			}
+			pass.Reportf(sel.Pos(), "plain access to field %s, which is accessed atomically at %s — mixed atomic/plain access is the publish-before-initialize race shape; use atomic access everywhere (or an atomic.%s-typed field)",
+				field.Name(), pass.Fset.Position(site.Pos()), suggestAtomicType(field.Type()))
+			return true
+		})
+	}
+	return nil
+}
+
+// isAtomicCall reports whether call targets a sync/atomic package-level
+// function (atomic.LoadUint64, atomic.StorePointer, ...). Methods on the
+// typed atomics (atomic.Int64 etc.) are deliberately not matched: a typed
+// atomic field cannot be accessed plainly by construction.
+func isAtomicCall(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	_, isSelection := pass.TypesInfo.Selections[sel]
+	return !isSelection
+}
+
+// fieldVar resolves a selector to the struct field it selects, or nil.
+func fieldVar(pass *Pass, sel *ast.SelectorExpr) *types.Var {
+	selInfo, ok := pass.TypesInfo.Selections[sel]
+	if !ok || selInfo.Kind() != types.FieldVal {
+		return nil
+	}
+	v, _ := selInfo.Obj().(*types.Var)
+	return v
+}
+
+// suggestAtomicType names the typed-atomic replacement for diagnostics.
+func suggestAtomicType(t types.Type) string {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return "Value"
+	}
+	switch b.Kind() {
+	case types.Int32:
+		return "Int32"
+	case types.Int64, types.Int:
+		return "Int64"
+	case types.Uint32:
+		return "Uint32"
+	case types.Uint64, types.Uint, types.Uintptr:
+		return "Uint64"
+	case types.Bool:
+		return "Bool"
+	default:
+		return "Value"
+	}
+}

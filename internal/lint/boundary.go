@@ -1,0 +1,36 @@
+package lint
+
+// The determinism boundary: packages whose output must be a
+// bit-deterministic function of (RunSpec, seed). Everything the cache
+// tiers serve — canonical report bytes, memo snapshots, fuzz baselines —
+// is computed inside these packages, so wall-clock, entropy, host state
+// and map-iteration order must not influence anything they emit.
+//
+// This list is the single source of truth: detsource and boundaryimport
+// both key off it, and DESIGN.md ("The determinism boundary as an
+// enforced contract") documents it. Adding a package here is a reviewed
+// decision, not a side effect.
+var DeterminismBoundary = []string{
+	"repro/internal/machine",
+	"repro/internal/core",
+	"repro/internal/sched",
+	"repro/internal/workload",
+	"repro/internal/scenario",
+	"repro/internal/governor",
+	"repro/internal/bench",
+	"repro/internal/grid",
+	"repro/internal/memo",
+	"repro/internal/report",
+	"repro/internal/stats",
+}
+
+// inBoundary reports whether the import path is inside the determinism
+// boundary.
+func inBoundary(boundary []string, path string) bool {
+	for _, b := range boundary {
+		if path == b {
+			return true
+		}
+	}
+	return false
+}

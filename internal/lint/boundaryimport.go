@@ -1,0 +1,61 @@
+package lint
+
+import "strconv"
+
+// Observability packages. Code inside the determinism boundary may not
+// import them except through the approved hook points below: spans and
+// metrics carry wall-clock timestamps, and an accidental dependency is
+// how timing leaks into simulated state.
+var obsPackages = []string{
+	"repro/internal/obs",
+	"repro/internal/timeline",
+}
+
+// approvedObsImports are the audited hook points. The flight recorder
+// (internal/timeline) was designed to be callable from inside the
+// boundary: it samples only simulated state at quiescent cuts and its
+// output is excluded from report bytes, spec hashes and memo keys
+// (DESIGN.md, "Flight recorder"). machine publishes the samples, the
+// governors and the daemon publish decision events. internal/obs (spans,
+// Prometheus metrics) records wall-clock time and is never approved.
+var approvedObsImports = map[string]map[string]bool{
+	"repro/internal/machine":  {"repro/internal/timeline": true},
+	"repro/internal/governor": {"repro/internal/timeline": true},
+	"repro/internal/core":     {"repro/internal/timeline": true},
+}
+
+// NewBoundaryImport returns the boundaryimport analyzer for the given
+// boundary, forbidden observability packages, and approved (package,
+// import) pairs.
+func NewBoundaryImport(boundary, forbidden []string, approved map[string]map[string]bool) *Analyzer {
+	a := &Analyzer{
+		Name: "boundaryimport",
+		Doc: "determinism-boundary packages may not import the observability packages (obs, timeline) " +
+			"except through the approved hook points",
+	}
+	a.Run = func(pass *Pass) error {
+		if !inBoundary(boundary, pass.Path) {
+			return nil
+		}
+		for _, f := range pass.Files {
+			for _, imp := range f.Imports {
+				path, err := strconv.Unquote(imp.Path.Value)
+				if err != nil {
+					continue
+				}
+				if !inBoundary(forbidden, path) { // reuse: exact-match list membership
+					continue
+				}
+				if approved[pass.Path][path] {
+					continue
+				}
+				pass.Reportf(imp.Pos(), "determinism-boundary package %s imports observability package %s without an approved hook point (see internal/lint/boundaryimport.go)", pass.Path, path)
+			}
+		}
+		return nil
+	}
+	return a
+}
+
+// BoundaryImport is the production boundaryimport analyzer.
+var BoundaryImport = NewBoundaryImport(DeterminismBoundary, obsPackages, approvedObsImports)

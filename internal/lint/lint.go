@@ -1,0 +1,222 @@
+// Package lint is cfvet's analysis engine: a small, dependency-free
+// reimplementation of the golang.org/x/tools/go/analysis surface (Analyzer,
+// Pass, Reportf) plus the suppression-comment contract that makes the
+// determinism boundary auditable.
+//
+// Every cache tier in this system — the content-addressed LRU, the disk
+// store, the memo prefix cache, the fuzz baseline, the flight recorder —
+// is sound only because simulation output is a bit-deterministic function
+// of (RunSpec, seed). The analyzers in this package turn that reviewer-head
+// contract into machine-checked rules: no wall-clock or entropy inside the
+// boundary (detsource), no map-iteration order leaking into serialized
+// output (maporder), no struct field silently missing from canonical
+// encoding (hashfield), no governor Attach without the MSR Save/Restore
+// bracket (msrbracket), no mixed atomic/plain field access (atomicmix),
+// and no unapproved observability imports inside the boundary
+// (boundaryimport).
+//
+// The framework mirrors go/analysis deliberately — if golang.org/x/tools
+// ever lands in the module, each Analyzer ports by renaming the types —
+// but it is built exclusively on the standard library (go/parser, go/types,
+// and gc export data served by `go list -export`), because the build
+// environment has no module proxy.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named check. It mirrors x/tools' analysis.Analyzer: Run
+// inspects a single type-checked package via the Pass and reports
+// diagnostics; it must not retain the Pass.
+type Analyzer struct {
+	// Name identifies the check in diagnostics and in
+	// //cfvet:allow(<name>) suppression comments.
+	Name string
+	// Doc is the one-paragraph description shown by `cfvet -list`.
+	Doc string
+	// Run performs the check.
+	Run func(*Pass) error
+}
+
+// Pass carries one package's parsed and type-checked state to an Analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files are the package's parsed source files, comments included.
+	Files []*ast.File
+	// Path is the package's import path ("repro/internal/machine").
+	// Analyzers that only apply inside the determinism boundary match on
+	// it; fixtures override it to stand in for real packages.
+	Path string
+	// Pkg and TypesInfo hold go/types results for the package.
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+func (p *Pass) report(d Diagnostic) { *p.diags = append(*p.diags, d) }
+
+// Diagnostic is one finding: where, which check, what.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// allowRe matches the suppression comment contract:
+//
+//	//cfvet:allow(check1,check2) reason text
+//
+// The reason is mandatory — an allow that does not say why it is safe is
+// itself a finding (the audit trail is the point), reported under the
+// pseudo-check "cfvet".
+var allowRe = regexp.MustCompile(`^//cfvet:allow\(([^)]*)\)(.*)$`)
+
+// Allow is one parsed //cfvet:allow comment.
+type Allow struct {
+	Pos    token.Position
+	Checks []string
+	Reason string
+	// Used records whether the allow suppressed at least one diagnostic
+	// in this run; `cfvet -allows` flags stale ones.
+	Used bool
+}
+
+// Covers reports whether the allow names the given check.
+func (a *Allow) Covers(check string) bool {
+	for _, c := range a.Checks {
+		if c == check || c == "all" {
+			return true
+		}
+	}
+	return false
+}
+
+// collectAllows parses every //cfvet:allow comment in the package.
+// Malformed allows (empty check list or missing reason) are returned as
+// diagnostics so they fail the build rather than silently suppressing
+// nothing — or worse, appearing to suppress something.
+func collectAllows(fset *token.FileSet, files []*ast.File) ([]*Allow, []Diagnostic) {
+	var allows []*Allow
+	var bad []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := allowRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					if strings.HasPrefix(c.Text, "//cfvet:") {
+						bad = append(bad, Diagnostic{
+							Analyzer: "cfvet",
+							Pos:      fset.Position(c.Pos()),
+							Message:  fmt.Sprintf("malformed cfvet directive %q (want //cfvet:allow(check) reason)", c.Text),
+						})
+					}
+					continue
+				}
+				var checks []string
+				for _, part := range strings.Split(m[1], ",") {
+					if part = strings.TrimSpace(part); part != "" {
+						checks = append(checks, part)
+					}
+				}
+				reason := strings.TrimSpace(m[2])
+				pos := fset.Position(c.Pos())
+				switch {
+				case len(checks) == 0:
+					bad = append(bad, Diagnostic{Analyzer: "cfvet", Pos: pos,
+						Message: "cfvet:allow names no checks"})
+				case reason == "":
+					bad = append(bad, Diagnostic{Analyzer: "cfvet", Pos: pos,
+						Message: fmt.Sprintf("cfvet:allow(%s) has no reason — suppressions must say why they are safe", m[1])})
+				default:
+					allows = append(allows, &Allow{Pos: pos, Checks: checks, Reason: reason})
+				}
+			}
+		}
+	}
+	return allows, bad
+}
+
+// suppressed reports whether d is covered by an allow on the same line or
+// on the line immediately above it (the two idiomatic placements: trailing
+// comment and own-line comment).
+func suppressed(d Diagnostic, allows []*Allow) bool {
+	for _, a := range allows {
+		if a.Pos.Filename != d.Pos.Filename || !a.Covers(d.Analyzer) {
+			continue
+		}
+		if a.Pos.Line == d.Pos.Line || a.Pos.Line == d.Pos.Line-1 {
+			a.Used = true
+			return true
+		}
+	}
+	return false
+}
+
+// Result is the outcome of running analyzers over one package.
+type Result struct {
+	Path string
+	// Diagnostics are the unsuppressed findings, ordered by position.
+	Diagnostics []Diagnostic
+	// Allows are every suppression comment in the package, used or not.
+	Allows []*Allow
+}
+
+// RunPackage applies the analyzers to one loaded package, filtering
+// suppressed diagnostics and reporting malformed directives.
+func RunPackage(pkg *Package, analyzers []*Analyzer) (Result, error) {
+	allows, bad := collectAllows(pkg.Fset, pkg.Files)
+	var raw []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Path:      pkg.Path,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			diags:     &raw,
+		}
+		if err := a.Run(pass); err != nil {
+			return Result{}, fmt.Errorf("%s: %s: %w", pkg.Path, a.Name, err)
+		}
+	}
+	kept := append([]Diagnostic(nil), bad...)
+	for _, d := range raw {
+		if !suppressed(d, allows) {
+			kept = append(kept, d)
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i].Pos, kept[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return kept[i].Analyzer < kept[j].Analyzer
+	})
+	return Result{Path: pkg.Path, Diagnostics: kept, Allows: allows}, nil
+}

@@ -1,0 +1,201 @@
+// Package linttest is the fixture harness for cfvet analyzers — the
+// stdlib stand-in for golang.org/x/tools/go/analysis/analysistest.
+//
+// A fixture is a directory holding one Go package. Expected diagnostics
+// are declared in the source with analysistest's comment convention:
+//
+//	m := map[string]int{}
+//	for k := range m { // want `appends to "keys" without sorting`
+//		keys = append(keys, k)
+//	}
+//
+// Each `// want "regex"` (one or more quoted regexes; backquotes or
+// double quotes) must be matched by a diagnostic reported on its line,
+// and every diagnostic must match a want. Because //cfvet:allow comments
+// swallow the rest of their line, an expectation about the directive
+// itself goes on the following line as `// want-above "regex"`.
+//
+// Suppression filtering runs exactly as in cfvet, so fixtures exercise
+// the //cfvet:allow path end to end.
+package linttest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+var wantRe = regexp.MustCompile("//[ \t]*(want|want-above)((?:[ \t]+(?:\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`))+)[ \t]*$")
+var wantArgRe = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// Run loads the fixture package rooted at dir, analyzes it under the
+// given import path (so boundary-scoped analyzers can be pointed at real
+// package identities), and diffs diagnostics against the want comments.
+func Run(t *testing.T, dir, path string, analyzers ...*lint.Analyzer) {
+	t.Helper()
+	files, err := fixtureFiles(dir)
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	imports, err := fixtureImports(files)
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	imp, err := lint.StdImporter(".", imports)
+	if err != nil {
+		t.Fatalf("linttest: resolving fixture imports %v: %v", imports, err)
+	}
+	pkg, err := lint.TypeCheck(path, files, imp)
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	res, err := lint.RunPackage(pkg, analyzers)
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+
+	wants, err := collectWants(files)
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+
+	for _, d := range res.Diagnostics {
+		if !matchWant(wants, d) {
+			t.Errorf("unexpected diagnostic %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.raw)
+		}
+	}
+}
+
+func fixtureFiles(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, filepath.Join(dir, e.Name()))
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no fixture files in %s", dir)
+	}
+	sort.Strings(files)
+	return files, nil
+}
+
+var importLineRe = regexp.MustCompile("^[ \t]*(?:_[ \t]+|[A-Za-z0-9_]+[ \t]+)?\"([^\"]+)\"")
+
+// fixtureImports scans fixture sources for import paths (single-line and
+// block form) so the importer can pre-resolve their export data.
+func fixtureImports(files []string) ([]string, error) {
+	seen := map[string]bool{}
+	var paths []string
+	for _, name := range files {
+		data, err := os.ReadFile(name)
+		if err != nil {
+			return nil, err
+		}
+		inBlock := false
+		for _, line := range strings.Split(string(data), "\n") {
+			trimmed := strings.TrimSpace(line)
+			switch {
+			case strings.HasPrefix(trimmed, "import ("):
+				inBlock = true
+			case inBlock && trimmed == ")":
+				inBlock = false
+			case inBlock:
+				if m := importLineRe.FindStringSubmatch(line); m != nil && !seen[m[1]] {
+					seen[m[1]] = true
+					paths = append(paths, m[1])
+				}
+			case strings.HasPrefix(trimmed, "import "):
+				rest := strings.TrimPrefix(trimmed, "import ")
+				if m := importLineRe.FindStringSubmatch(rest); m != nil && !seen[m[1]] {
+					seen[m[1]] = true
+					paths = append(paths, m[1])
+				}
+			}
+		}
+	}
+	return paths, nil
+}
+
+func collectWants(files []string) ([]*want, error) {
+	var wants []*want
+	for _, name := range files {
+		data, err := os.ReadFile(name)
+		if err != nil {
+			return nil, err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRe.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			lineNo := i + 1
+			if m[1] == "want-above" {
+				lineNo--
+			}
+			for _, q := range wantArgRe.FindAllString(m[2], -1) {
+				var raw string
+				if q[0] == '`' {
+					raw = q[1 : len(q)-1]
+				} else if raw, err = strconv.Unquote(q); err != nil {
+					return nil, fmt.Errorf("%s:%d: bad want %s: %v", name, lineNo, q, err)
+				}
+				re, err := regexp.Compile(raw)
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: bad want regexp %q: %v", name, lineNo, raw, err)
+				}
+				wants = append(wants, &want{file: name, line: lineNo, re: re, raw: raw})
+			}
+		}
+	}
+	return wants, nil
+}
+
+func matchWant(wants []*want, d lint.Diagnostic) bool {
+	for _, w := range wants {
+		if w.matched || w.line != d.Pos.Line {
+			continue
+		}
+		if !sameFile(w.file, d.Pos.Filename) {
+			continue
+		}
+		if w.re.MatchString(d.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+func sameFile(a, b string) bool {
+	aa, err1 := filepath.Abs(a)
+	bb, err2 := filepath.Abs(b)
+	if err1 != nil || err2 != nil {
+		return filepath.Base(a) == filepath.Base(b)
+	}
+	return aa == bb
+}

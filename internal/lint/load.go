@@ -1,0 +1,172 @@
+// Package loading for cfvet. golang.org/x/tools/go/packages is not
+// available in this build environment (no module proxy), so this is the
+// minimal equivalent built on the toolchain itself: `go list -deps -export
+// -json` names every package, its files and its compiled export data, and
+// go/types checks each target package from source with imports satisfied
+// from that export data. Everything works offline and from the build cache.
+
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// Package is one parsed, type-checked package ready for analysis.
+type Package struct {
+	Path  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listEntry is the subset of `go list -json` output the loader consumes.
+type listEntry struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list -deps -export -json patterns...` in dir and decodes
+// the JSON stream.
+func goList(dir string, patterns []string) ([]listEntry, error) {
+	args := append([]string{"list", "-deps", "-export", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+	var entries []listEntry
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var e listEntry
+		if err := dec.Decode(&e); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list %v: decoding output: %v", patterns, err)
+		}
+		entries = append(entries, e)
+	}
+	return entries, nil
+}
+
+// exportLookup satisfies the gc importer's lookup contract from the
+// Export files `go list -export` reported.
+func exportLookup(exports map[string]string) func(path string) (io.ReadCloser, error) {
+	return func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok || file == "" {
+			return nil, fmt.Errorf("lint: no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+}
+
+// Load resolves patterns (e.g. "./...") relative to dir into parsed,
+// type-checked Packages. Only non-dep packages are returned for analysis;
+// dependency packages (including the standard library) contribute export
+// data for type checking. Test files are not loaded: cfvet guards the
+// production determinism boundary, and tests legitimately use wall-clock
+// timeouts and temp dirs.
+func Load(dir string, patterns []string) ([]*Package, error) {
+	entries, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(entries))
+	for _, e := range entries {
+		if e.Export != "" {
+			exports[e.ImportPath] = e.Export
+		}
+	}
+	imp := importer.ForCompiler(token.NewFileSet(), "gc", exportLookup(exports))
+
+	var pkgs []*Package
+	for _, e := range entries {
+		if e.DepOnly || e.Standard {
+			continue
+		}
+		if e.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", e.ImportPath, e.Error.Err)
+		}
+		var files []string
+		for _, f := range e.GoFiles {
+			files = append(files, filepath.Join(e.Dir, f))
+		}
+		pkg, err := TypeCheck(e.ImportPath, files, imp)
+		if err != nil {
+			return nil, err
+		}
+		pkg.Dir = e.Dir
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// TypeCheck parses and type-checks one package from explicit file paths,
+// resolving imports through imp. linttest uses it directly to load
+// fixture packages under a caller-chosen import path.
+func TypeCheck(path string, files []string, imp types.Importer) (*Package, error) {
+	fset := token.NewFileSet()
+	var parsed []*ast.File
+	for _, name := range files {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %v", err)
+		}
+		parsed = append(parsed, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(path, fset, parsed, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %v", path, err)
+	}
+	return &Package{Path: path, Fset: fset, Files: parsed, Types: tpkg, Info: info}, nil
+}
+
+// StdImporter returns an importer serving export data for the named
+// packages and their dependencies, resolved via the local toolchain.
+// linttest uses it to type-check fixtures that import the standard
+// library (or repro packages) without a full workspace load.
+func StdImporter(dir string, imports []string) (types.Importer, error) {
+	if len(imports) == 0 {
+		return importer.ForCompiler(token.NewFileSet(), "gc", exportLookup(nil)), nil
+	}
+	entries, err := goList(dir, imports)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(entries))
+	for _, e := range entries {
+		if e.Export != "" {
+			exports[e.ImportPath] = e.Export
+		}
+	}
+	return importer.ForCompiler(token.NewFileSet(), "gc", exportLookup(exports)), nil
+}

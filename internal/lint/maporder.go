@@ -1,0 +1,180 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapOrder flags `for range` over a map whose body feeds order-sensitive
+// sinks — appending to a slice, writing to an encoder or writer, building
+// up a string — without the sorted-keys idiom. Map iteration order is
+// randomized per run, so any such loop is a direct path from scheduler
+// entropy to canonical bytes: exactly the bug class the content-addressed
+// cache, the memo keys and the fuzz baseline cannot survive.
+//
+// The approved idiom is collect-then-sort: append the keys (or rows) to a
+// slice inside the loop and sort that slice later in the same function.
+// Loops that only aggregate (sums, counters, map-to-map writes, deletes)
+// are order-insensitive and never flagged.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc: "flag range-over-map loops that append, encode or print without sorting the result " +
+		"(map order is randomized; serialized output must not depend on it)",
+}
+
+func init() { MapOrder.Run = runMapOrder }
+
+// writerSinks are method/function names that serialize directly.
+var writerSinks = map[string]bool{
+	"Encode": true, "Write": true, "WriteString": true, "WriteByte": true,
+	"WriteRune": true, "Fprintf": true, "Fprint": true, "Fprintln": true,
+	"Printf": true, "Print": true, "Println": true, "Sprintf": false, // Sprintf alone doesn't emit
+}
+
+func runMapOrder(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkMapLoops(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+func checkMapLoops(pass *Pass, fn *ast.BlockStmt) {
+	ast.Inspect(fn, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := pass.TypesInfo.Types[rs.X]
+		if !ok {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		direct, appendTargets := mapLoopSinks(pass, rs.Body)
+		if direct {
+			pass.Reportf(rs.Pos(), "range over map feeds order-sensitive output (encoder, printer or string building); map order is randomized — collect keys, sort, then emit")
+			return true
+		}
+		for _, target := range appendTargets {
+			if !sortedLater(pass, fn, rs, target) {
+				pass.Reportf(rs.Pos(), "range over map appends to %q without sorting it afterwards; map order is randomized — sort the slice (or the keys) before it is consumed", target.Name())
+			}
+		}
+		return true
+	})
+}
+
+// mapLoopSinks scans a range body for order-sensitive sinks. It returns
+// whether the body serializes directly (encoder/printer/string building)
+// and the set of outer-scope slice variables it appends to.
+func mapLoopSinks(pass *Pass, body *ast.BlockStmt) (direct bool, appendTargets []*types.Var) {
+	seen := map[*types.Var]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			switch fun := n.Fun.(type) {
+			case *ast.Ident:
+				if fun.Name == "append" && len(n.Args) > 0 {
+					if v := rootVar(pass, n.Args[0]); v != nil && !seen[v] {
+						seen[v] = true
+						appendTargets = append(appendTargets, v)
+					}
+				}
+			case *ast.SelectorExpr:
+				if emit, known := writerSinks[fun.Sel.Name]; known && emit {
+					direct = true
+				}
+			}
+		case *ast.AssignStmt:
+			// s += expr on a string builds serialized output in loop order.
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 {
+				if t, ok := pass.TypesInfo.Types[n.Lhs[0]]; ok {
+					if b, ok := t.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+						direct = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	return direct, appendTargets
+}
+
+// sortedLater reports whether target is passed to a sort (or handed to a
+// sorting helper) somewhere after the range loop in the same function.
+func sortedLater(pass *Pass, fn *ast.BlockStmt, rs *ast.RangeStmt, target *types.Var) bool {
+	found := false
+	ast.Inspect(fn, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		if !isSortCall(pass, call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			sorted := false
+			ast.Inspect(arg, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok {
+					if pass.TypesInfo.Uses[id] == target {
+						sorted = true
+					}
+				}
+				return !sorted
+			})
+			if sorted {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isSortCall recognizes sort.* and slices.Sort* calls.
+func isSortCall(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	switch obj.Pkg().Path() {
+	case "sort", "slices":
+		return true
+	}
+	return false
+}
+
+// rootVar resolves the base identifier of an expression (keys,
+// s.rows, out[i]) to its variable object, or nil.
+func rootVar(pass *Pass, e ast.Expr) *types.Var {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			v, _ := pass.TypesInfo.Uses[x].(*types.Var)
+			if v == nil {
+				v, _ = pass.TypesInfo.Defs[x].(*types.Var)
+			}
+			return v
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

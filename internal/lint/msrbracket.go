@@ -1,0 +1,135 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MsrBracket enforces the governor contract from PR 2: every Attach
+// performs dev.Save() before mutating MSR state, and the Attachment it
+// returns routes Detach through dev.Restore — unconditionally, even when
+// the strategy's own teardown fails. A governor that skips the bracket
+// leaks frequency/cadence state from one run into the next machine
+// attachment, which breaks run independence and therefore every cache
+// tier keyed on (RunSpec, seed) alone.
+//
+// Mechanically, inside the configured packages, every method named Attach
+// returning (*Attachment, error) must:
+//
+//  1. call .Save() on something (the msr device snapshot), and
+//  2. construct its result through newAttachment, where the detach
+//     argument references .Restore (either the method value dev.Restore
+//     or a closure that calls it).
+
+// NewMsrBracket returns the msrbracket analyzer restricted to pkgs.
+func NewMsrBracket(pkgs []string) *Analyzer {
+	a := &Analyzer{
+		Name: "msrbracket",
+		Doc: "every governor Attach must Save MSR state and route the returned Attachment's Detach " +
+			"through Restore (the Save/Restore bracket)",
+	}
+	a.Run = func(pass *Pass) error {
+		if !inBoundary(pkgs, pass.Path) {
+			return nil
+		}
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Name.Name != "Attach" || fd.Body == nil || !returnsAttachment(pass, fd) {
+					continue
+				}
+				checkAttach(pass, fd)
+			}
+		}
+		return nil
+	}
+	return a
+}
+
+// MsrBracket is the production msrbracket analyzer.
+var MsrBracket = NewMsrBracket([]string{"repro/internal/governor"})
+
+// returnsAttachment reports whether fd's results include *Attachment.
+func returnsAttachment(pass *Pass, fd *ast.FuncDecl) bool {
+	if fd.Type.Results == nil {
+		return false
+	}
+	for _, res := range fd.Type.Results.List {
+		tv, ok := pass.TypesInfo.Types[res.Type]
+		if !ok {
+			continue
+		}
+		if nt, ok := derefType(tv.Type).(*types.Named); ok && nt.Obj().Name() == "Attachment" {
+			return true
+		}
+	}
+	return false
+}
+
+func checkAttach(pass *Pass, fd *ast.FuncDecl) {
+	var savePos ast.Node
+	var attachCalls []*ast.CallExpr
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fun := call.Fun.(type) {
+		case *ast.SelectorExpr:
+			if fun.Sel.Name == "Save" && savePos == nil {
+				savePos = call
+			}
+		case *ast.Ident:
+			if fun.Name == "newAttachment" {
+				attachCalls = append(attachCalls, call)
+			}
+		}
+		return true
+	})
+
+	recv := governorName(fd)
+	if savePos == nil {
+		pass.Reportf(fd.Pos(), "governor %s.Attach never calls Save — MSR state mutated by this governor cannot be restored at Detach", recv)
+	}
+	if len(attachCalls) == 0 {
+		pass.Reportf(fd.Pos(), "governor %s.Attach does not construct its result through newAttachment — Detach cannot route through the Save/Restore bracket", recv)
+		return
+	}
+	for _, call := range attachCalls {
+		if len(call.Args) < 2 || !referencesRestore(call.Args[1]) {
+			pass.Reportf(call.Pos(), "governor %s.Attach: newAttachment's detach argument does not reference Restore — MSR state saved at Attach would never be restored", recv)
+		}
+	}
+	if savePos != nil && len(attachCalls) > 0 && attachCalls[0].Pos() < savePos.Pos() {
+		pass.Reportf(attachCalls[0].Pos(), "governor %s.Attach constructs the Attachment before calling Save — the bracket must capture pre-attach MSR state first", recv)
+	}
+}
+
+// referencesRestore reports whether the expression mentions a selector
+// .Restore anywhere (dev.Restore as a method value, or a closure whose
+// body calls it, possibly via errors.Join).
+func referencesRestore(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok && sel.Sel.Name == "Restore" {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// governorName renders the receiver type for diagnostics.
+func governorName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return "(package-level)"
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return "(unknown receiver)"
+}

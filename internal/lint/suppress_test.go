@@ -1,0 +1,89 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func parseAllows(t *testing.T, src string) ([]*Allow, []Diagnostic) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fixture.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return collectAllows(fset, []*ast.File{f})
+}
+
+func TestCollectAllows(t *testing.T) {
+	allows, bad := parseAllows(t, `package p
+
+//cfvet:allow(detsource) profiling wall clock
+var a int
+
+//cfvet:allow(detsource,maporder) two checks, one reason
+var b int
+`)
+	if len(bad) != 0 {
+		t.Fatalf("unexpected bad directives: %v", bad)
+	}
+	if len(allows) != 2 {
+		t.Fatalf("got %d allows, want 2", len(allows))
+	}
+	if got := allows[0].Reason; got != "profiling wall clock" {
+		t.Errorf("reason = %q", got)
+	}
+	if !allows[1].Covers("maporder") || !allows[1].Covers("detsource") || allows[1].Covers("hashfield") {
+		t.Errorf("multi-check allow coverage wrong: %v", allows[1].Checks)
+	}
+}
+
+func TestCollectAllowsRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{"package p\n\n//cfvet:allow(detsource)\nvar a int\n", "has no reason"},
+		{"package p\n\n//cfvet:allow() reason here\nvar a int\n", "names no checks"},
+		{"package p\n\n//cfvet:alow(detsource) typo\nvar a int\n", "malformed cfvet directive"},
+	}
+	for _, c := range cases {
+		allows, bad := parseAllows(t, c.src)
+		if len(allows) != 0 {
+			t.Errorf("%q: malformed directive registered as allow", c.src)
+		}
+		if len(bad) != 1 || !strings.Contains(bad[0].Message, c.want) {
+			t.Errorf("%q: diagnostics = %v, want one containing %q", c.src, bad, c.want)
+		}
+	}
+}
+
+func TestSuppressedMatchesSameAndPreviousLine(t *testing.T) {
+	mk := func(line int) Diagnostic {
+		return Diagnostic{Analyzer: "detsource", Pos: token.Position{Filename: "f.go", Line: line}}
+	}
+	allow := &Allow{Pos: token.Position{Filename: "f.go", Line: 10}, Checks: []string{"detsource"}}
+
+	if !suppressed(mk(10), []*Allow{allow}) {
+		t.Error("same-line diagnostic not suppressed")
+	}
+	if !suppressed(mk(11), []*Allow{allow}) {
+		t.Error("next-line diagnostic not suppressed (own-line comment placement)")
+	}
+	if suppressed(mk(12), []*Allow{allow}) {
+		t.Error("distant diagnostic wrongly suppressed")
+	}
+	if suppressed(Diagnostic{Analyzer: "maporder", Pos: token.Position{Filename: "f.go", Line: 10}}, []*Allow{allow}) {
+		t.Error("other-check diagnostic wrongly suppressed")
+	}
+	other := &Allow{Pos: token.Position{Filename: "g.go", Line: 10}, Checks: []string{"detsource"}}
+	if suppressed(mk(10), []*Allow{other}) {
+		t.Error("other-file diagnostic wrongly suppressed")
+	}
+	if !allow.Used {
+		t.Error("allow not marked used after suppressing")
+	}
+}

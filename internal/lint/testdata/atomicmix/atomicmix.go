@@ -1,0 +1,47 @@
+// Fixture: atomicmix — the PR 8 flight-trace race shape. A span's
+// duration field was written plainly by the finishing goroutine
+// ("it happens before publication") while exporters loaded it atomically;
+// the assumed happens-before edge did not exist on the trace-store path,
+// and only -race caught it.
+package fixture
+
+import "sync/atomic"
+
+type span struct {
+	startNs int64
+	durNs   int64
+}
+
+func (s *span) finish(nowNs int64) {
+	s.durNs = nowNs - s.startNs // want `plain access to field durNs`
+}
+
+func (s *span) DurNs() int64 {
+	return atomic.LoadInt64(&s.durNs)
+}
+
+// counter is all-atomic: never flagged.
+type counter struct{ n uint64 }
+
+func (c *counter) inc() uint64 { return atomic.AddUint64(&c.n, 1) }
+func (c *counter) get() uint64 { return atomic.LoadUint64(&c.n) }
+
+// plainOnly is all-plain: never flagged.
+type plainOnly struct{ v int }
+
+func (p *plainOnly) bump() { p.v++ }
+func (p *plainOnly) get() int {
+	return p.v
+}
+
+// gauge exercises the suppression path: a pre-publication write whose
+// happens-before edge is real and stated.
+type gauge struct{ v int64 }
+
+func newGauge(initial int64) *gauge {
+	g := &gauge{}
+	g.v = initial //cfvet:allow(atomicmix) fixture: write precedes publication; the constructor return is the happens-before edge
+	return g
+}
+
+func (g *gauge) load() int64 { return atomic.LoadInt64(&g.v) }

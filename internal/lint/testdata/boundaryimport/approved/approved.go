@@ -1,0 +1,10 @@
+// Fixture: boundaryimport — loaded under repro/internal/machine, whose
+// timeline import is an approved hook point (the flight recorder samples
+// only simulated state at quiescent cuts). obs is never approved inside
+// the boundary: spans and metrics carry wall-clock timestamps.
+package fixture
+
+import (
+	_ "repro/internal/obs" // want `imports observability package repro/internal/obs`
+	_ "repro/internal/timeline"
+)

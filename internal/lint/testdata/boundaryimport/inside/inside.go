@@ -1,0 +1,9 @@
+// Fixture: boundaryimport — loaded under repro/internal/stats, a
+// determinism-boundary package with NO approved observability hook
+// points. Both imports are findings.
+package fixture
+
+import (
+	_ "repro/internal/obs"      // want `imports observability package repro/internal/obs`
+	_ "repro/internal/timeline" // want `imports observability package repro/internal/timeline`
+)

@@ -1,0 +1,55 @@
+// Fixture: detsource inside the determinism boundary (loaded under the
+// import path repro/internal/machine).
+package fixture
+
+import (
+	crand "crypto/rand"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+)
+
+func wallClock() time.Duration {
+	t0 := time.Now()      // want `time\.Now inside the determinism boundary`
+	return time.Since(t0) // want `time\.Since inside the determinism boundary`
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want `global math/rand draw rand\.Intn`
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `global math/rand draw rand\.Shuffle`
+}
+
+// seeded is the approved idiom: an explicitly seeded per-run source.
+func seeded(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64()
+}
+
+func entropy(buf []byte) {
+	crand.Read(buf) // want `crypto/rand\.Read reads OS entropy`
+}
+
+func hostPid() int {
+	return os.Getpid() // want `os\.Getpid inside the determinism boundary`
+}
+
+func hostTopology() int {
+	return runtime.NumCPU() // want `runtime\.NumCPU inside the determinism boundary`
+}
+
+// suppressedClock exercises the //cfvet:allow path: a reasoned
+// suppression swallows the diagnostic.
+func suppressedClock() time.Time {
+	return time.Now() //cfvet:allow(detsource) fixture: profiling-style wall clock that never feeds simulated state
+}
+
+// badSuppression has no reason, so the allow is itself a finding and the
+// underlying diagnostic is NOT suppressed.
+func badSuppression() time.Time {
+	return time.Now() //cfvet:allow(detsource)
+	// want-above `has no reason` `time\.Now inside the determinism boundary`
+}

@@ -1,0 +1,17 @@
+// Fixture: the same calls OUTSIDE the determinism boundary (loaded under
+// repro/internal/orchestrator) are not detsource findings — wall-clock
+// retry pacing and host state are legitimate there.
+package fixture
+
+import (
+	"os"
+	"time"
+)
+
+func retryDelay(t0 time.Time) time.Duration {
+	return time.Since(t0)
+}
+
+func now() time.Time { return time.Now() }
+
+func pid() int { return os.Getpid() }

@@ -1,0 +1,33 @@
+// Fixture: hashfield — exported fields of a hashed spec type must be
+// referenced in its canonical-form functions (here: Normalized and
+// Build), through selectors or keyed composite literals.
+package fixture
+
+type Spec struct {
+	Name    string
+	Count   int
+	Skipped string // want `exported field Spec\.Skipped is not referenced in Normalized/Build`
+
+	// Allowed is consciously left out, with the audit trail to prove it.
+	Allowed string //cfvet:allow(hashfield) fixture: documentation-only field, hashed verbatim
+
+	hidden int // unexported fields are never part of the contract
+}
+
+// Normalized covers Name via a selector.
+func (s Spec) Normalized() Spec {
+	if s.Name == "" {
+		s.Name = "default"
+	}
+	return s
+}
+
+// Build covers Count via a keyed composite literal.
+func Build() Spec {
+	return Spec{Count: 3}
+}
+
+func use() int {
+	var s Spec
+	return s.hidden
+}

@@ -1,0 +1,73 @@
+// Fixture: maporder — range-over-map loops feeding order-sensitive
+// sinks, with and without the collect-then-sort idiom.
+package fixture
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+func unsortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `appends to "keys" without sorting`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// sortedKeys is the approved idiom: collect, sort, consume.
+func sortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// sortSliceIdiom covers sort.Slice with the slice referenced inside the
+// comparator.
+func sortSliceIdiom(m map[string]float64) []float64 {
+	var vals []float64
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	return vals
+}
+
+func directEmit(m map[string]int, sb *strings.Builder) {
+	for k, v := range m { // want `feeds order-sensitive output`
+		fmt.Fprintf(sb, "%s=%d\n", k, v)
+	}
+}
+
+func stringBuild(m map[string]int) string {
+	out := ""
+	for k := range m { // want `feeds order-sensitive output`
+		out += k
+	}
+	return out
+}
+
+// aggregate is order-insensitive: sums, counters and map-to-map writes
+// are never flagged.
+func aggregate(m map[string]int, seen map[string]bool) int {
+	total := 0
+	for k, v := range m {
+		total += v
+		seen[k] = true
+	}
+	return total
+}
+
+// suppressed exercises the //cfvet:allow path for maporder.
+func suppressed(m map[string]int) []string {
+	var keys []string
+	//cfvet:allow(maporder) fixture: consumer sorts the keys itself
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}

@@ -1,0 +1,74 @@
+// Fixture: msrbracket — every Attach returning (*Attachment, error) must
+// Save MSR state and route the Attachment's detach through Restore. The
+// types mirror the real governor package's shape.
+package fixture
+
+import "errors"
+
+type Device struct{}
+
+func (d *Device) Save()          {}
+func (d *Device) Restore() error { return nil }
+
+type Machine struct{ dev *Device }
+
+func (m *Machine) Device() *Device { return m.dev }
+
+type Attachment struct{ detach func() error }
+
+func newAttachment(daemon any, detach func() error) *Attachment {
+	_ = daemon
+	return &Attachment{detach: detach}
+}
+
+// goodGovernor: the canonical bracket — Save, then detach = method value.
+type goodGovernor struct{}
+
+func (goodGovernor) Attach(m *Machine) (*Attachment, error) {
+	dev := m.Device()
+	dev.Save()
+	return newAttachment(nil, dev.Restore), nil
+}
+
+// closureGovernor: detach closure that joins a strategy teardown error
+// with the Restore, like the daemon-backed governors.
+type closureGovernor struct{}
+
+func (closureGovernor) Attach(m *Machine) (*Attachment, error) {
+	dev := m.Device()
+	dev.Save()
+	stop := func() error { return nil }
+	return newAttachment(nil, func() error {
+		return errors.Join(stop(), dev.Restore())
+	}), nil
+}
+
+type noSaveGovernor struct{}
+
+func (noSaveGovernor) Attach(m *Machine) (*Attachment, error) { // want `never calls Save`
+	dev := m.Device()
+	return newAttachment(nil, dev.Restore), nil
+}
+
+type noRestoreGovernor struct{}
+
+func (noRestoreGovernor) Attach(m *Machine) (*Attachment, error) {
+	dev := m.Device()
+	dev.Save()
+	return newAttachment(nil, func() error { return nil }), nil // want `does not reference Restore`
+}
+
+type rawGovernor struct{}
+
+func (rawGovernor) Attach(m *Machine) (*Attachment, error) { // want `does not construct its result through newAttachment`
+	m.Device().Save()
+	return &Attachment{}, nil
+}
+
+// helperAttach is not a governor Attach (wrong result type) and is
+// ignored.
+func helperAttach() (int, error) { return 0, nil }
+
+func Attach(m *Machine) (*Attachment, error) { // want `never calls Save`
+	return newAttachment(nil, m.Device().Restore), nil
+}

@@ -570,7 +570,7 @@ func (m *Machine) runBatch(quanta int) {
 	e := m.engine
 	var profT0 time.Time
 	if m.cfg.Profile {
-		profT0 = time.Now()
+		profT0 = time.Now() //cfvet:allow(detsource) profiling wall-clock behind Config.Profile; profWallNs is excluded from reports, spec hashes and memo keys
 	}
 	m.mu.Lock()
 	for i := range m.cores {
@@ -642,7 +642,7 @@ func (m *Machine) runBatch(quanta int) {
 	m.totalMissR += e.totMissR
 	m.uncoreGHzSecs += e.uncoreGHzSecs
 	if m.cfg.Profile {
-		m.profWallNs += time.Since(profT0).Nanoseconds()
+		m.profWallNs += time.Since(profT0).Nanoseconds() //cfvet:allow(detsource) profiling wall-clock behind Config.Profile; never feeds simulated state
 		m.profBatch++
 		m.profQuanta += int64(e.quantum)
 	}

@@ -37,8 +37,10 @@ const (
 type Definition struct {
 	// Name labels the scenario in reports and registry listings.
 	Name string `json:"name"`
-	// Description is the one-line listing text.
-	Description string `json:"description,omitempty"`
+	// Description is the one-line listing text. It is part of the
+	// canonical bytes verbatim (struct-level json.Marshal), needs no
+	// defaulting, and no harness consults it.
+	Description string `json:"description,omitempty"` //cfvet:allow(hashfield) documentation-only; hashed verbatim via struct marshal, deliberately untouched by Normalized/Validate
 	// Decomposition is "work-sharing" (default) or "task-dag".
 	Decomposition string `json:"decomposition,omitempty"`
 	// Iterations repeats the whole phase list in sequence (default 1) —

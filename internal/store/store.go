@@ -281,6 +281,9 @@ func (s *Store) Purge() error {
 	s.index = make(map[string]object)
 	s.total = 0
 	s.mu.Unlock()
+	// Deterministic deletion order so which error surfaces as firstErr
+	// does not depend on map iteration order (cfvet: maporder).
+	sort.Strings(hashes)
 	var firstErr error
 	for _, h := range hashes {
 		if err := os.Remove(s.path(h)); err != nil && !errors.Is(err, fs.ErrNotExist) && firstErr == nil {
